@@ -1,0 +1,87 @@
+"""Figure 13: mini-batch size vs memory requirement and execution time.
+
+Paper setup: 100k x 100k, 100-D tensor join; the "No Batch" case holds the
+full |R| x |S| FP32 intermediate (40 GB at paper scale); mini-batches of
+decreasing size trade a small relative slowdown for a large reduction in
+required RAM.  Scaled here to 6k x 6k (full intermediate 144 MB).
+
+Expected shape (asserted): required RAM shrinks quadratically with the
+batch edge while the slowdown stays within a small factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import FigureReport, time_call
+from repro.core import ThresholdCondition, tensor_join
+from repro.workloads import unit_vectors
+
+DIM = 100
+N = 6_000
+CONDITION = ThresholdCondition(0.9)
+#: (batch_left, batch_right) mini-batch shapes; None means No Batch.
+BATCHES = [None, (3_000, 3_000), (2_000, 2_000), (1_000, 1_000), (500, 500)]
+
+
+@pytest.fixture(scope="module")
+def data():
+    left = unit_vectors(N, DIM, stream="f13/l")
+    right = unit_vectors(N, DIM, stream="f13/r")
+    return left, right
+
+
+@pytest.mark.parametrize("batch", BATCHES, ids=lambda b: "nobatch" if b is None else f"{b[0]}x{b[1]}")
+def test_fig13_batch(benchmark, batch, data):
+    left, right = data
+    kwargs = {}
+    if batch is not None:
+        kwargs = {"batch_left": batch[0], "batch_right": batch[1]}
+    benchmark.pedantic(
+        tensor_join,
+        args=(left, right, CONDITION),
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig13_report(benchmark, data):
+    left, right = data
+    report = FigureReport(
+        "fig13",
+        "mini-batch impact, 6k x 6k 100-D (paper: 100k x 100k)",
+        ("batch", "time_ms", "buffer_MB", "rel_slowdown", "ram_reduction"),
+    )
+    base_time = None
+    base_buffer = None
+    slowdowns = []
+    reductions = []
+    for batch in BATCHES:
+        kwargs = (
+            {}
+            if batch is None
+            else {"batch_left": batch[0], "batch_right": batch[1]}
+        )
+        result, seconds = time_call(
+            tensor_join, left, right, CONDITION, **kwargs
+        )
+        buffer_mb = result.stats.peak_buffer_elements * 4 / 1e6
+        if base_time is None:
+            base_time, base_buffer = seconds, buffer_mb
+        slowdown = seconds / base_time
+        reduction = base_buffer / buffer_mb
+        slowdowns.append(slowdown)
+        reductions.append(reduction)
+        label = "nobatch" if batch is None else f"{batch[0]}x{batch[1]}"
+        report.add(label, seconds * 1000, buffer_mb, slowdown, reduction)
+    # RAM shrinks by orders of magnitude; slowdown stays within a few x.
+    assert reductions[-1] >= 100, (
+        f"smallest batch should cut RAM >= 100x, got {reductions[-1]:.1f}x"
+    )
+    assert max(slowdowns) < 10, (
+        f"mini-batching slowdown should stay within 10x, got {max(slowdowns):.1f}x"
+    )
+    report.note("paper: negligible slowdown for orders-of-magnitude RAM savings")
+    report.emit()
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

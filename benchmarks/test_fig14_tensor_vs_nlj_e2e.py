@@ -1,0 +1,62 @@
+"""Figure 14: tensor join vs NLJ formulation, end-to-end.
+
+Paper setup: 100-D, 48 threads, 10k x 10k .. 1M x 1M; tensor join wins by
+almost an order of magnitude across sizes, and the 1M x 1M NLJ times out
+(40+ minutes).  Scaled ~10x down; both operators single-process (the
+thread-scaling axis is Figure 9's subject).
+
+Expected shape (asserted): both scale ~linearly in |R| x |S|; tensor is
+faster at every size, with a growing advantage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import FigureReport, speedup, time_call
+from repro.core import ThresholdCondition, prefetch_nlj, tensor_join
+from repro.workloads import unit_vectors
+
+DIM = 100
+CONDITION = ThresholdCondition(0.9)
+SIZES = [(1_000, 1_000), (3_000, 1_000), (3_000, 3_000), (10_000, 3_000), (10_000, 10_000)]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return unit_vectors(10_000, DIM, stream="f14/pool")
+
+
+@pytest.mark.parametrize("n_left,n_right", SIZES)
+@pytest.mark.parametrize("strategy", ["tensor", "nlj"])
+def test_fig14_cell(benchmark, strategy, n_left, n_right, pool):
+    left = pool[:n_left]
+    right = pool[:n_right]
+    fn = tensor_join if strategy == "tensor" else prefetch_nlj
+    benchmark.pedantic(fn, args=(left, right, CONDITION), rounds=1, iterations=1)
+
+
+def test_fig14_report(benchmark, pool):
+    report = FigureReport(
+        "fig14",
+        "tensor vs NLJ end-to-end, 100-D (paper: up to 1M x 1M)",
+        ("size", "tensor_ms", "nlj_ms", "tensor_speedup"),
+    )
+    gains = []
+    for n_left, n_right in SIZES:
+        left = pool[:n_left]
+        right = pool[:n_right]
+        _, t_tensor = time_call(tensor_join, left, right, CONDITION)
+        _, t_nlj = time_call(prefetch_nlj, left, right, CONDITION)
+        gain = speedup(t_nlj, t_tensor)
+        gains.append(gain)
+        report.add(f"{n_left}x{n_right}", t_tensor * 1000, t_nlj * 1000, gain)
+        assert t_tensor < t_nlj, (
+            f"tensor should beat NLJ at {n_left}x{n_right}"
+        )
+    assert max(gains) >= 3, (
+        f"tensor advantage should reach several-x (paper ~10x), got {max(gains):.1f}x"
+    )
+    report.note("paper reports ~an order of magnitude tensor advantage")
+    report.emit()
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

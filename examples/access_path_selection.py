@@ -1,0 +1,69 @@
+"""Access-path selection under relational selectivity (paper Section VI-E).
+
+Run with:  python examples/access_path_selection.py
+
+The paper's key systems insight: whether to drive a vector join through a
+scan or a vector index is a *selectivity-driven* decision, like the classic
+scan-vs-B-tree choice.  This example sweeps the relational selectivity of a
+hybrid query and shows measured scan/index times against the cost model's
+prediction.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import HNSWIndex, TopKCondition
+from repro.core import choose_access_path, index_join, tensor_join
+from repro.workloads import unit_vectors
+
+DIM = 128
+N_BASE = 6_000
+N_PROBE = 100
+SELECTIVITIES = (2, 10, 30, 60, 100)
+
+
+def main() -> None:
+    base = unit_vectors(N_BASE, DIM, stream="apx/base")
+    probes = unit_vectors(N_PROBE, DIM, stream="apx/probe")
+
+    print(f"building HNSW over {N_BASE} x {DIM}-D vectors ...")
+    index = HNSWIndex(DIM, m=8, ef_construction=64, ef_search=24, seed=3)
+    index.add(base)
+
+    rng = np.random.default_rng(4)
+    rank = rng.permutation(N_BASE)
+    condition = TopKCondition(1)
+
+    print(f"\n{'sel%':>5} {'scan ms':>9} {'index ms':>9} "
+          f"{'measured winner':>16} {'model says':>11}")
+    for pct in SELECTIVITIES:
+        bitmap = rank < int(N_BASE * pct / 100)
+        kept = np.nonzero(bitmap)[0]
+
+        t0 = time.perf_counter()
+        tensor_join(probes, base[kept], condition, assume_normalized=True)
+        scan_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        index_join(probes, index, condition, allowed=bitmap)
+        index_s = time.perf_counter() - t0
+
+        decision = choose_access_path(
+            N_PROBE, N_BASE, k=1, dim=DIM, selectivity=pct / 100,
+            ef_search=index.ef_search,
+        )
+        measured = "scan" if scan_s < index_s else "index"
+        print(f"{pct:>5} {scan_s * 1e3:>9.1f} {index_s * 1e3:>9.1f} "
+              f"{measured:>16} {decision.choice:>11}")
+
+    print("\nshape to observe (paper Figures 15-17): the scan wins at low "
+          "selectivity because relational filtering shrinks its input, "
+          "while index probes pay graph traversal regardless — and pay "
+          "*extra* under a pre-filter.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Multi-modal near-duplicate detection (paper Section II-A-3).
+
+Run with:  python examples/near_duplicate_detection.py
+
+An unlabeled batch of embeddings (e.g. images embedded by a vision model —
+the engine never sees the modality, only context-free tensors) is checked
+against a reference database for near-duplicates, the misinformation-
+detection / document-tagging workload the paper motivates.
+
+Shows the access-path decision in action: a threshold E-join on a scan is
+exact; the HNSW index probe is faster per query at high selectivity but
+approximate and capped at top-k.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import HNSWIndex, ThresholdCondition, TopKCondition
+from repro.core import choose_access_path, index_join, tensor_join
+from repro.workloads import paired_relations
+
+DIM = 64
+N_BATCH = 300        # new, unlabeled items
+N_REFERENCE = 5_000  # reference database
+DUP_RATE = 0.12
+
+
+def main() -> None:
+    # paired_relations plants near-duplicates with known ground truth —
+    # standing in for "the same image re-uploaded with slight edits".
+    batch, reference, truth = paired_relations(
+        N_BATCH, N_REFERENCE, DIM, overlap=DUP_RATE, noise=0.03, seed=11
+    )
+    print(f"batch: {N_BATCH} items, reference DB: {N_REFERENCE}, "
+          f"planted duplicates: {len(truth)}")
+
+    # --- exact scan-based detection -------------------------------------
+    condition = ThresholdCondition(0.93)
+    t0 = time.perf_counter()
+    scan = tensor_join(batch, reference, condition, assume_normalized=True)
+    scan_s = time.perf_counter() - t0
+    found = scan.pairs()
+    recall = len(found & truth) / len(truth)
+    precision = len(found & truth) / max(len(found), 1)
+    print(f"\nscan (tensor join, exact): {scan_s * 1000:.1f} ms")
+    print(f"  found {len(found)} pairs, recall={recall:.1%}, "
+          f"precision={precision:.1%}")
+
+    # --- index-based detection ------------------------------------------
+    print("\nbuilding HNSW index over the reference DB ...")
+    index = HNSWIndex(DIM, m=12, ef_construction=96, ef_search=64, seed=11)
+    t0 = time.perf_counter()
+    index.add(reference)
+    print(f"  build: {time.perf_counter() - t0:.1f} s "
+          f"(amortized across future batches)")
+
+    t0 = time.perf_counter()
+    probe = index_join(batch, index, TopKCondition(1, min_similarity=0.93))
+    probe_s = time.perf_counter() - t0
+    pfound = probe.pairs()
+    precall = len(pfound & truth) / len(truth)
+    print(f"index probe (approximate): {probe_s * 1000:.1f} ms")
+    print(f"  found {len(pfound)} pairs, recall={precall:.1%}")
+
+    # --- what would the cost model have chosen? -------------------------
+    decision = choose_access_path(
+        N_BATCH, N_REFERENCE, k=1, dim=DIM, selectivity=1.0
+    )
+    print(f"\naccess-path selector: {decision.choice} "
+          f"(scan={decision.scan_cost:.3g}, index={decision.index_cost:.3g})")
+    print("paper Table I in action: the scan is exact and expression-"
+          "flexible; the index trades accuracy for probe speed and needs "
+          "its build cost amortized.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — reproduction of "Optimizing Context-Enhanced Relational Joins".
+
+A hybrid vector-relational engine in pure Python/NumPy:
+
+* :mod:`repro.relational` — columnar relational substrate,
+* :mod:`repro.embedding` — embedding models (``E_mu``), training, caching,
+* :mod:`repro.vector` — cosine kernels (scalar / vectorized / GEMM),
+* :mod:`repro.index` — flat and HNSW vector indexes,
+* :mod:`repro.core` — the paper's contribution: E-join operators, tensor
+  formulation, cost model, access-path selection,
+* :mod:`repro.algebra` — extended relational algebra and optimizer,
+* :mod:`repro.query` — declarative query builder,
+* :mod:`repro.workloads` — seeded synthetic workload generators,
+* :mod:`repro.bench` — figure/table reproduction harness.
+
+Quickstart::
+
+    import repro
+    result = repro.ejoin(left_vectors, right_vectors,
+                         repro.ThresholdCondition(0.9))
+"""
+
+from .config import ReproConfig, get_config, rng, set_seed
+from .core import (
+    JoinResult,
+    ThresholdCondition,
+    TopKCondition,
+    ejoin,
+    tensor_join,
+)
+from .embedding import EmbeddingModel, FastTextModel, HashingEmbedder
+from .index import FlatIndex, HNSWIndex
+from .query import Engine
+from .relational import Catalog, Col, DataType, Field, Schema, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "Col",
+    "DataType",
+    "EmbeddingModel",
+    "Engine",
+    "FastTextModel",
+    "Field",
+    "FlatIndex",
+    "HNSWIndex",
+    "HashingEmbedder",
+    "JoinResult",
+    "ReproConfig",
+    "Schema",
+    "Table",
+    "ThresholdCondition",
+    "TopKCondition",
+    "__version__",
+    "ejoin",
+    "get_config",
+    "rng",
+    "set_seed",
+    "tensor_join",
+]

@@ -1,0 +1,57 @@
+"""Extended relational algebra, rewrite rules, optimizer, physical planner."""
+
+from .costing import PlanEstimate, compare_plans, estimate_cost
+from .logical import (
+    EJoinNode,
+    EmbedNode,
+    EquiJoinNode,
+    ESelectNode,
+    FilterNode,
+    LimitNode,
+    LogicalNode,
+    ProjectNode,
+    ScanNode,
+    plan_equal,
+    walk,
+)
+from .optimizer import OptimizationTrace, Optimizer, visible_columns
+from .physical_planner import ExecutionContext, ExecutionReport, execute
+from .rules import (
+    OrderEJoinInputs,
+    PrefetchEmbeddings,
+    PushFilterBelowEmbed,
+    PushFilterBelowESelect,
+    PushFilterIntoEJoin,
+    RewriteRule,
+    default_rules,
+)
+
+__all__ = [
+    "EJoinNode",
+    "PlanEstimate",
+    "compare_plans",
+    "estimate_cost",
+    "ESelectNode",
+    "PushFilterBelowESelect",
+    "EmbedNode",
+    "EquiJoinNode",
+    "ExecutionContext",
+    "ExecutionReport",
+    "FilterNode",
+    "LimitNode",
+    "LogicalNode",
+    "OptimizationTrace",
+    "Optimizer",
+    "OrderEJoinInputs",
+    "PrefetchEmbeddings",
+    "ProjectNode",
+    "PushFilterBelowEmbed",
+    "PushFilterIntoEJoin",
+    "RewriteRule",
+    "ScanNode",
+    "default_rules",
+    "execute",
+    "plan_equal",
+    "visible_columns",
+    "walk",
+]

@@ -1,0 +1,166 @@
+"""Logical-plan cost estimation.
+
+Walks a logical plan bottom-up, propagating cardinality estimates from the
+catalog (uniformity assumptions for relational predicates) and charging
+each node with the paper's cost equations.  This is what EXPLAIN-style
+tooling and the what-if comparisons in tests use; the physical planner's
+access-path choice consumes the same :class:`~repro.core.cost_model`
+primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.conditions import ThresholdCondition, TopKCondition
+from ..core.cost_model import (
+    CostParams,
+    e_selection_cost,
+    naive_nlj_cost,
+    prefetch_nlj_cost,
+    tensor_join_cost,
+)
+from ..errors import PlanError
+from ..relational.catalog import Catalog
+from .logical import (
+    EJoinNode,
+    EmbedNode,
+    EquiJoinNode,
+    ESelectNode,
+    FilterNode,
+    LimitNode,
+    LogicalNode,
+    ProjectNode,
+    ScanNode,
+)
+
+def _merge_breakdowns(a: dict[str, float], b: dict[str, float]) -> dict[str, float]:
+    merged = dict(a)
+    for label, amount in b.items():
+        merged[label] = merged.get(label, 0.0) + amount
+    return merged
+
+
+#: Default selectivity guess for predicates we cannot estimate.
+DEFAULT_PREDICATE_SELECTIVITY = 0.3
+#: Default match selectivity of a threshold E-join (pairs emitted / |R||S|).
+DEFAULT_SIMILARITY_SELECTIVITY = 0.01
+
+
+@dataclass
+class PlanEstimate:
+    """Cost and cardinality estimate of a (sub)plan."""
+
+    rows: float
+    cost: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    def add(self, label: str, amount: float) -> None:
+        self.cost += amount
+        self.breakdown[label] = self.breakdown.get(label, 0.0) + amount
+
+
+def estimate_cost(
+    plan: LogicalNode,
+    catalog: Catalog,
+    *,
+    params: CostParams | None = None,
+    default_dim: int = 100,
+) -> PlanEstimate:
+    """Estimate total abstract cost and output cardinality of a plan."""
+    params = params or CostParams()
+    params.validate()
+    return _estimate(plan, catalog, params, default_dim)
+
+
+def _estimate(
+    node: LogicalNode, catalog: Catalog, params: CostParams, dim: int
+) -> PlanEstimate:
+    if isinstance(node, ScanNode):
+        rows = float(catalog.cardinality(node.table_name))
+        est = PlanEstimate(rows=rows, cost=0.0)
+        est.add("scan", rows * params.access)
+        return est
+
+    if isinstance(node, FilterNode):
+        child = _estimate(node.child, catalog, params, dim)
+        est = PlanEstimate(
+            rows=child.rows * DEFAULT_PREDICATE_SELECTIVITY,
+            cost=child.cost,
+            breakdown=dict(child.breakdown),
+        )
+        est.add("filter", child.rows * params.access)
+        return est
+
+    if isinstance(node, (ProjectNode, LimitNode)):
+        child = _estimate(node.children()[0], catalog, params, dim)
+        rows = (
+            min(child.rows, node.n) if isinstance(node, LimitNode) else child.rows
+        )
+        return PlanEstimate(rows=rows, cost=child.cost, breakdown=dict(child.breakdown))
+
+    if isinstance(node, EmbedNode):
+        child = _estimate(node.child, catalog, params, dim)
+        est = PlanEstimate(
+            rows=child.rows, cost=child.cost, breakdown=dict(child.breakdown)
+        )
+        est.add("embed", child.rows * params.model)
+        return est
+
+    if isinstance(node, ESelectNode):
+        child = _estimate(node.child, catalog, params, dim)
+        est = PlanEstimate(rows=0.0, cost=child.cost, breakdown=dict(child.breakdown))
+        est.add("eselect", e_selection_cost(int(child.rows), dim, params))
+        if isinstance(node.condition, TopKCondition):
+            est.rows = float(min(node.condition.k, child.rows))
+        else:
+            est.rows = child.rows * DEFAULT_SIMILARITY_SELECTIVITY
+        return est
+
+    if isinstance(node, EquiJoinNode):
+        left = _estimate(node.left, catalog, params, dim)
+        right = _estimate(node.right, catalog, params, dim)
+        est = PlanEstimate(
+            rows=max(left.rows, right.rows),
+            cost=left.cost + right.cost,
+            breakdown=_merge_breakdowns(left.breakdown, right.breakdown),
+        )
+        est.add("hash-join", (left.rows + right.rows) * params.access)
+        return est
+
+    if isinstance(node, EJoinNode):
+        left = _estimate(node.left, catalog, params, dim)
+        right = _estimate(node.right, catalog, params, dim)
+        est = PlanEstimate(
+            rows=0.0,
+            cost=left.cost + right.cost,
+            breakdown=_merge_breakdowns(left.breakdown, right.breakdown),
+        )
+        n_left, n_right = int(left.rows), int(right.rows)
+        if not node.prefetch:
+            est.add("ejoin-naive", naive_nlj_cost(n_left, n_right, dim, params))
+        elif node.strategy_hint == "nlj":
+            est.add("ejoin-nlj", prefetch_nlj_cost(n_left, n_right, dim, params))
+        else:
+            est.add("ejoin-tensor", tensor_join_cost(n_left, n_right, dim, params))
+        if isinstance(node.condition, TopKCondition):
+            est.rows = left.rows * node.condition.k
+        else:
+            est.rows = left.rows * right.rows * DEFAULT_SIMILARITY_SELECTIVITY
+        return est
+
+    raise PlanError(f"cannot estimate cost of {type(node).__name__}")
+
+
+def compare_plans(
+    plans: dict[str, LogicalNode],
+    catalog: Catalog,
+    *,
+    params: CostParams | None = None,
+) -> list[tuple[str, PlanEstimate]]:
+    """Estimate several candidate plans; cheapest first."""
+    estimates = [
+        (name, estimate_cost(plan, catalog, params=params))
+        for name, plan in plans.items()
+    ]
+    return sorted(estimates, key=lambda pair: pair[1].cost)

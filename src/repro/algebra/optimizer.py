@@ -1,0 +1,148 @@
+"""Rule-driven logical optimizer.
+
+Applies :mod:`~repro.algebra.rules` bottom-up to a fixpoint.  The catalog
+(when provided) supplies column visibility and cardinalities so pushdown
+and input-ordering rules can fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import OptimizerError
+from ..relational.catalog import Catalog
+from .logical import (
+    EJoinNode,
+    EmbedNode,
+    EquiJoinNode,
+    ESelectNode,
+    FilterNode,
+    LimitNode,
+    LogicalNode,
+    ProjectNode,
+    ScanNode,
+)
+from .rules import RewriteRule, default_rules
+
+_MAX_PASSES = 32
+
+
+def visible_columns(node: LogicalNode, catalog: Catalog | None) -> set[str] | None:
+    """Columns a subtree exposes, or None when unknowable."""
+    if isinstance(node, ScanNode):
+        if catalog is None or node.table_name not in catalog:
+            return None
+        return set(catalog.get(node.table_name).schema.names)
+    if isinstance(node, FilterNode):
+        return visible_columns(node.child, catalog)
+    if isinstance(node, LimitNode):
+        return visible_columns(node.child, catalog)
+    if isinstance(node, ProjectNode):
+        return set(node.names)
+    if isinstance(node, EmbedNode):
+        base = visible_columns(node.child, catalog)
+        if base is None:
+            return None
+        return base | {node.output_column}
+    if isinstance(node, ESelectNode):
+        base = visible_columns(node.child, catalog)
+        if base is None:
+            return None
+        return base | {node.score_column}
+    if isinstance(node, (EJoinNode, EquiJoinNode)):
+        left = visible_columns(node.children()[0], catalog)
+        right = visible_columns(node.children()[1], catalog)
+        if left is None or right is None:
+            return None
+        return left | right
+    return None
+
+
+@dataclass
+class OptimizationTrace:
+    """Record of rule applications for EXPLAIN output."""
+
+    steps: list[str] = field(default_factory=list)
+
+    def record(self, rule: RewriteRule, before: LogicalNode, after: LogicalNode) -> None:
+        self.steps.append(
+            f"{rule.name}: {before.describe()} -> {after.describe()}"
+        )
+
+
+class Optimizer:
+    """Bottom-up fixpoint rewriter."""
+
+    def __init__(
+        self,
+        rules: list[RewriteRule] | None = None,
+        *,
+        catalog: Catalog | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.rules = default_rules(catalog) if rules is None else list(rules)
+        self.trace = OptimizationTrace()
+
+    def optimize(self, plan: LogicalNode) -> LogicalNode:
+        """Rewrite to fixpoint; raises if rules fail to converge."""
+        self.trace = OptimizationTrace()
+        current = plan
+        for _ in range(_MAX_PASSES):
+            rewritten, changed = self._apply_once(current)
+            if not changed:
+                return rewritten
+            current = rewritten
+        raise OptimizerError(
+            f"optimizer did not converge within {_MAX_PASSES} passes; "
+            f"trace: {self.trace.steps[-5:]}"
+        )
+
+    def _apply_once(self, node: LogicalNode) -> tuple[LogicalNode, bool]:
+        # Rewrite children first (bottom-up).
+        changed = False
+        new_children = []
+        for child in node.children():
+            rewritten, child_changed = self._apply_once(child)
+            new_children.append(rewritten)
+            changed = changed or child_changed
+        if changed:
+            node = node.with_children(new_children)
+        # Then try rules at this node.
+        for rule in self.rules:
+            result = self._try_rule(rule, node)
+            if result is not None:
+                self.trace.record(rule, node, result)
+                return result, True
+        return node, changed
+
+    def _try_rule(self, rule: RewriteRule, node: LogicalNode) -> LogicalNode | None:
+        # Rules that need column visibility get it injected lazily.
+        from .rules import PushFilterIntoEJoin
+
+        if isinstance(rule, PushFilterIntoEJoin):
+            return self._push_filter_into_ejoin(node)
+        return rule.apply(node)
+
+    def _push_filter_into_ejoin(self, node: LogicalNode) -> LogicalNode | None:
+        """Catalog-aware variant of the single-side filter pushdown."""
+        if not isinstance(node, FilterNode):
+            return None
+        child = node.child
+        if not isinstance(child, EJoinNode):
+            return None
+        cols = node.predicate.columns()
+        left_cols = visible_columns(child.left, self.catalog)
+        right_cols = visible_columns(child.right, self.catalog)
+        in_left = left_cols is not None and cols <= left_cols
+        in_right = right_cols is not None and cols <= right_cols
+        if in_left and in_right:
+            return None  # ambiguous (shared names); keep above the join
+        if in_left:
+            return child.with_children(
+                [FilterNode(child.left, node.predicate), child.right]
+            )
+        if in_right:
+            return child.with_children(
+                [child.left, FilterNode(child.right, node.predicate)]
+            )
+        return None

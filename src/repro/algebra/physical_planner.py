@@ -1,0 +1,248 @@
+"""Physical planning and execution of logical plans.
+
+Bridges the extended algebra to the physical operators: relational nodes
+map onto :mod:`repro.relational.operators`; :class:`EmbedNode` runs the
+model through an :class:`~repro.embedding.cache.EmbeddingStore` (embed-once
+semantics); :class:`EJoinNode` is dispatched to a physical join strategy —
+tensor scan, index probe (with relational pre-filtering pushed into the
+probe), or the deliberately-naive per-pair NLJ when prefetching was not
+enabled by the optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.conditions import TopKCondition
+from ..core.cost_model import CostParams, choose_access_path
+from ..core.index_join import DEFAULT_PROBE_K, index_join
+from ..core.join import ejoin
+from ..core.nlj import naive_nlj
+from ..core.result import JoinResult
+from ..embedding.cache import EmbeddingStore
+from ..embedding.registry import ModelRegistry, default_registry
+from ..errors import PlanError
+from ..index.base import VectorIndex
+from ..relational.catalog import Catalog
+from ..relational.column import Column
+from ..relational.expressions import validate_boolean
+from ..relational.schema import DataType, Field
+from ..relational.table import Table
+from .logical import (
+    EJoinNode,
+    EmbedNode,
+    EquiJoinNode,
+    ESelectNode,
+    FilterNode,
+    LimitNode,
+    LogicalNode,
+    ProjectNode,
+    ScanNode,
+)
+
+
+@dataclass
+class ExecutionContext:
+    """Everything physical planning needs: data, models, indexes, costs."""
+
+    catalog: Catalog
+    models: ModelRegistry = field(default_factory=default_registry)
+    #: (table_name, column_name) -> built vector index over that column.
+    indexes: dict[tuple[str, str], VectorIndex] = field(default_factory=dict)
+    cost_params: CostParams = field(default_factory=CostParams)
+    #: model_name -> shared embedding store (embed-once across the query).
+    _stores: dict[str, EmbeddingStore] = field(default_factory=dict)
+
+    def store_for(self, model_name: str) -> EmbeddingStore:
+        if model_name not in self._stores:
+            self._stores[model_name] = EmbeddingStore(self.models.get(model_name))
+        return self._stores[model_name]
+
+    def register_index(
+        self, table_name: str, column: str, index: VectorIndex
+    ) -> None:
+        self.indexes[(table_name, column)] = index
+
+
+@dataclass
+class ExecutionReport:
+    """Side-channel describing what the physical layer actually did."""
+
+    strategies: list[str] = field(default_factory=list)
+    join_stats: list = field(default_factory=list)
+
+
+def execute(
+    plan: LogicalNode,
+    ctx: ExecutionContext,
+    *,
+    report: ExecutionReport | None = None,
+) -> Table:
+    """Execute a (typically optimized) logical plan to a materialized table."""
+    report = report if report is not None else ExecutionReport()
+    return _execute(plan, ctx, report)
+
+
+def _execute(node: LogicalNode, ctx: ExecutionContext, report: ExecutionReport) -> Table:
+    if isinstance(node, ScanNode):
+        return ctx.catalog.get(node.table_name)
+    if isinstance(node, FilterNode):
+        table = _execute(node.child, ctx, report)
+        return table.mask(validate_boolean(node.predicate, table))
+    if isinstance(node, ProjectNode):
+        table = _execute(node.child, ctx, report)
+        return table.select(list(node.names))
+    if isinstance(node, LimitNode):
+        table = _execute(node.child, ctx, report)
+        return table.slice(0, node.n)
+    if isinstance(node, EmbedNode):
+        return _execute_embed(node, ctx, report)
+    if isinstance(node, EquiJoinNode):
+        left = _execute(node.left, ctx, report)
+        right = _execute(node.right, ctx, report)
+        from ..relational.operators import HashJoin, Scan
+
+        op = HashJoin(Scan(left), Scan(right), node.left_key, node.right_key)
+        return op.execute()
+    if isinstance(node, EJoinNode):
+        return _execute_ejoin(node, ctx, report)
+    if isinstance(node, ESelectNode):
+        return _execute_eselect(node, ctx, report)
+    raise PlanError(f"no physical implementation for {type(node).__name__}")
+
+
+def _execute_eselect(
+    node: ESelectNode, ctx: ExecutionContext, report: ExecutionReport
+) -> Table:
+    from ..core.eselect import eselect
+
+    table = _execute(node.child, ctx, report)
+    vectors = _embed_column(table, node.column, node.model_name, ctx)
+    model = ctx.models.get(node.model_name)
+    query = node.query
+    if not isinstance(query, np.ndarray):
+        query = ctx.store_for(node.model_name).embed_items([query])[0]
+    result = eselect(vectors, query, node.condition, model=model)
+    report.strategies.append(result.stats.strategy)
+    report.join_stats.append(result.stats)
+    out = table.take(result.ids)
+    return out.with_column(
+        Column(Field(node.score_column, DataType.FLOAT32), result.scores)
+    )
+
+
+def _execute_embed(
+    node: EmbedNode, ctx: ExecutionContext, report: ExecutionReport
+) -> Table:
+    table = _execute(node.child, ctx, report)
+    store = ctx.store_for(node.model_name)
+    items = table.array(node.column).tolist()
+    vectors = store.embed_items(items)
+    dim = store.model.dim
+    return table.with_column(
+        Column(Field(node.output_column, DataType.TENSOR, dim=dim), vectors)
+    )
+
+
+def _embed_column(
+    table: Table, column: str, model_name: str, ctx: ExecutionContext
+) -> np.ndarray:
+    """Embedding of a table column, via the shared embed-once store."""
+    field_ = table.schema.field(column)
+    if field_.dtype is DataType.TENSOR:
+        return table.array(column)
+    store = ctx.store_for(model_name)
+    return store.embed_items(table.array(column).tolist())
+
+
+def _index_for_right(
+    node: LogicalNode, column: str, ctx: ExecutionContext
+) -> tuple[VectorIndex, np.ndarray | None, Table] | None:
+    """Index access path for the right input, if one is registered.
+
+    Supports ``Scan(t)`` (no pre-filter) and ``Filter(Scan(t))`` (the
+    relational predicate becomes a pre-filter bitmap over stored ids, as in
+    Milvus).  Returns (index, bitmap, base_table).
+    """
+    if isinstance(node, ScanNode):
+        index = ctx.indexes.get((node.table_name, column))
+        if index is None:
+            return None
+        return index, None, ctx.catalog.get(node.table_name)
+    if isinstance(node, FilterNode) and isinstance(node.child, ScanNode):
+        index = ctx.indexes.get((node.child.table_name, column))
+        if index is None:
+            return None
+        base = ctx.catalog.get(node.child.table_name)
+        bitmap = validate_boolean(node.predicate, base)
+        return index, bitmap, base
+    return None
+
+
+def _execute_ejoin(
+    node: EJoinNode, ctx: ExecutionContext, report: ExecutionReport
+) -> Table:
+    left = _execute(node.left, ctx, report)
+    model = ctx.models.get(node.model_name)
+
+    # --- index access path -------------------------------------------------
+    indexed = _index_for_right(node.right, node.right_column, ctx)
+    strategy = node.strategy_hint
+    if strategy is None and indexed is not None:
+        index, bitmap, base = indexed
+        sel = 1.0 if bitmap is None else float(bitmap.mean()) if len(bitmap) else 0.0
+        k = (
+            node.condition.k
+            if isinstance(node.condition, TopKCondition)
+            else DEFAULT_PROBE_K
+        )
+        decision = choose_access_path(
+            left.num_rows,
+            len(index),
+            k,
+            index.dim,
+            selectivity=sel,
+            params=ctx.cost_params,
+        )
+        strategy = "index" if decision.choice == "index" else "tensor"
+
+    if strategy == "index":
+        if indexed is None:
+            raise PlanError(
+                f"EJoin strategy 'index' requires a registered index on the "
+                f"right input column {node.right_column!r}"
+            )
+        index, bitmap, base = indexed
+        left_vectors = _embed_column(left, node.left_column, node.model_name, ctx)
+        result = index_join(
+            left_vectors, index, node.condition, allowed=bitmap
+        )
+        report.strategies.append(result.stats.strategy)
+        report.join_stats.append(result.stats)
+        return result.materialize(left, base)
+
+    # --- scan access path ----------------------------------------------------
+    right = _execute(node.right, ctx, report)
+    if not node.prefetch:
+        # Unoptimized logical plan: model invoked per pair (the paper's
+        # cautionary baseline).  Only sensible for tiny demonstration inputs.
+        result = naive_nlj(
+            left.array(node.left_column).tolist(),
+            right.array(node.right_column).tolist(),
+            model,
+            node.condition,
+        )
+    else:
+        left_vectors = _embed_column(left, node.left_column, node.model_name, ctx)
+        right_vectors = _embed_column(right, node.right_column, node.model_name, ctx)
+        result = ejoin(
+            left_vectors,
+            right_vectors,
+            node.condition,
+            strategy=strategy or "tensor",
+        )
+    report.strategies.append(result.stats.strategy)
+    report.join_stats.append(result.stats)
+    return result.materialize(left, right)

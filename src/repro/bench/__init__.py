@@ -1,0 +1,11 @@
+"""Benchmark harness for reproducing the paper's figures and tables."""
+
+from .harness import RESULTS_DIR, FigureReport, median_time, speedup, time_call
+
+__all__ = [
+    "FigureReport",
+    "RESULTS_DIR",
+    "median_time",
+    "speedup",
+    "time_call",
+]

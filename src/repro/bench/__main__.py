@@ -1,0 +1,95 @@
+"""Benchmark CLI: regenerate the paper's figures without remembering pytest
+flags.
+
+Usage::
+
+    python -m repro.bench                # run every figure/table benchmark
+    python -m repro.bench fig08 fig14    # run selected figures
+    python -m repro.bench --list         # show available experiments
+
+Reports are printed and persisted under ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+#: Experiment id -> benchmark file (relative to the repo root).
+EXPERIMENTS = {
+    "table1": "test_table1_scan_vs_index.py",
+    "table2": "test_table2_semantic_matching.py",
+    "fig08": "test_fig08_logical_optimization.py",
+    "fig09": "test_fig09_scalability.py",
+    "fig10": "test_fig10_input_sizes.py",
+    "fig11": "test_fig11_tensor_vs_nlj.py",
+    "fig12": "test_fig12_batching.py",
+    "fig13": "test_fig13_minibatch.py",
+    "fig14": "test_fig14_tensor_vs_nlj_e2e.py",
+    "fig15": "test_fig15_topk1_selectivity.py",
+    "fig16": "test_fig16_topk32_selectivity.py",
+    "fig17": "test_fig17_range_selectivity.py",
+    "ablation-normalization": "test_ablation_normalization.py",
+    "ablation-eselection": "test_ablation_eselection_cost.py",
+    "ablation-fp16": "test_ablation_fp16.py",
+    "ablation-model-cost": "test_ablation_model_cost.py",
+}
+
+
+def find_benchmarks_dir() -> Path:
+    """Locate the benchmarks/ directory (repo checkout layouts only)."""
+    here = Path.cwd()
+    for candidate in (here, *here.parents):
+        bench = candidate / "benchmarks"
+        if bench.is_dir() and any(bench.glob("test_fig*.py")):
+            return bench
+    raise SystemExit(
+        "benchmarks/ directory not found; run from the repository checkout"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e.g. fig08 table2); default: all",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    bench_dir = find_benchmarks_dir()
+    selected = args.experiments or list(EXPERIMENTS)
+    files = []
+    for name in selected:
+        if name not in EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {name!r}; use --list to see options"
+            )
+        files.append(str(bench_dir / EXPERIMENTS[name]))
+
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *files,
+        "--benchmark-only",
+        "-q",
+        "-s",
+    ]
+    return subprocess.call(command)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+"""Benchmark harness: timing, series collection, paper-style tables.
+
+Each figure benchmark produces a series of (x, series-name, time) rows; the
+harness renders them as aligned text tables mirroring what the paper plots,
+and persists them under ``bench_results/`` so EXPERIMENTS.md can quote
+measured numbers.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Where figure reports are written (relative to the repo root / CWD).
+RESULTS_DIR = Path("bench_results")
+
+
+def time_call(fn, *args, repeat: int = 1, **kwargs) -> tuple[object, float]:
+    """Run ``fn`` ``repeat`` times; return (last result, best seconds)."""
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def median_time(fn, *args, repeat: int = 3, **kwargs) -> tuple[object, float]:
+    """Run ``fn`` ``repeat`` times; return (last result, median seconds)."""
+    times = []
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        times.append(time.perf_counter() - start)
+    return result, statistics.median(times)
+
+
+@dataclass
+class FigureReport:
+    """Accumulates rows for one figure/table and renders them."""
+
+    figure: str
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, expected {len(self.columns)}"
+            )
+        self.rows.append(tuple(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        def fmt(v) -> str:
+            if isinstance(v, float):
+                return f"{v:.4g}"
+            return str(v)
+
+        table = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in table))
+            if table
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.figure}: {self.title} =="]
+        header = "  ".join(
+            c.ljust(widths[i]) for i, c in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for r in table:
+            lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(r))))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def save(self, directory: Path | None = None) -> Path:
+        directory = RESULTS_DIR if directory is None else directory
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.figure.lower().replace(' ', '_')}.txt"
+        path.write_text(self.render() + "\n", encoding="utf-8")
+        return path
+
+    def emit(self) -> None:
+        """Print and persist (the standard end-of-benchmark call)."""
+        text = self.render()
+        print("\n" + text)
+        self.save()
+
+
+def speedup(baseline_s: float, optimized_s: float) -> float:
+    """baseline / optimized (>1 means the optimization helped)."""
+    if optimized_s <= 0:
+        return float("inf")
+    return baseline_s / optimized_s

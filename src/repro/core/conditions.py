@@ -1,0 +1,78 @@
+"""Join conditions for the context-enhanced join.
+
+The paper evaluates two condition families (Section VI-E):
+
+* **range / threshold** — ``cos(r, s) >= threshold``; natural for scans,
+  awkward for indexes (which are built around top-k retrieval),
+* **top-k** — for each probe-side tuple, join with its ``k`` most similar
+  base-side tuples; the native mode of a vector index.
+
+A condition can also combine both (top-k with a minimum similarity), which
+is how the Figure 17 "range" experiment drives an index: retrieve top-k,
+then post-filter by threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import JoinError
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """Base marker for join conditions."""
+
+
+@dataclass(frozen=True)
+class ThresholdCondition(JoinCondition):
+    """Match every pair with cosine similarity >= ``threshold``."""
+
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not -1.0 <= self.threshold <= 1.0:
+            raise JoinError(
+                f"cosine threshold must be in [-1, 1], got {self.threshold}"
+            )
+
+    def __str__(self) -> str:
+        return f"sim >= {self.threshold}"
+
+
+@dataclass(frozen=True)
+class TopKCondition(JoinCondition):
+    """Match each left tuple with its ``k`` most similar right tuples.
+
+    ``min_similarity`` optionally post-filters the retrieved matches — the
+    index-side emulation of a range condition (Figure 17).
+    """
+
+    k: int
+    min_similarity: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise JoinError(f"top-k requires k >= 1, got {self.k}")
+        if self.min_similarity is not None and not -1.0 <= self.min_similarity <= 1.0:
+            raise JoinError(
+                f"min_similarity must be in [-1, 1], got {self.min_similarity}"
+            )
+
+    def __str__(self) -> str:
+        extra = (
+            f", sim >= {self.min_similarity}"
+            if self.min_similarity is not None
+            else ""
+        )
+        return f"top-{self.k}{extra}"
+
+
+def validate_condition(condition: JoinCondition) -> JoinCondition:
+    """Type-check a condition object (defensive entry-point validation)."""
+    if not isinstance(condition, (ThresholdCondition, TopKCondition)):
+        raise JoinError(
+            f"unsupported join condition {condition!r}; use "
+            "ThresholdCondition or TopKCondition"
+        )
+    return condition

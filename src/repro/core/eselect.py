@@ -1,0 +1,142 @@
+"""Context-enhanced selection: sigma_{E,mu,theta}(R) (Section III-C).
+
+The selection counterpart of the E-join: given a relation of context-rich
+items (or their embeddings) and a *query* item, return the tuples whose
+similarity to the query satisfies theta.  Its cost is the paper's
+E-Selection Cost equation, ``|R| * (A + M + C)`` — linear, with the model
+term removable by prefetching exactly as in the join.
+
+Both access paths are provided:
+
+* :func:`eselect` — scan-based, exact, any condition;
+* :func:`eselect_index` — probe-based, approximate, top-k-native.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..embedding.base import EmbeddingModel
+from ..errors import DimensionalityError, JoinError
+from ..index.base import VectorIndex
+from ..vector.norms import normalize_rows, normalize_vector
+from ..vector.topk import top_k_indices
+from .conditions import (
+    JoinCondition,
+    ThresholdCondition,
+    TopKCondition,
+    validate_condition,
+)
+from .nlj import _as_matrix
+from .result import JoinStats
+
+
+class SelectionResult:
+    """Offsets + scores of tuples satisfying an E-selection."""
+
+    def __init__(self, ids: np.ndarray, scores: np.ndarray, stats: JoinStats):
+        self.ids = np.asarray(ids, dtype=np.int64)
+        self.scores = np.asarray(scores, dtype=np.float32)
+        if len(self.ids) != len(self.scores):
+            raise JoinError(
+                f"ragged selection result: {len(self.ids)} ids, "
+                f"{len(self.scores)} scores"
+            )
+        self.stats = stats
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+def _query_vector(query, model: EmbeddingModel | None, stats: JoinStats) -> np.ndarray:
+    if isinstance(query, np.ndarray):
+        if query.ndim != 1:
+            raise DimensionalityError(
+                f"query must be a 1-D vector, got ndim={query.ndim}"
+            )
+        return normalize_vector(np.asarray(query, dtype=np.float32))
+    if model is None:
+        raise JoinError("a raw query item requires an embedding model")
+    stats.model_calls += 1
+    return model.embed(query)
+
+
+def eselect(
+    relation,
+    query,
+    condition: JoinCondition,
+    *,
+    model: EmbeddingModel | None = None,
+) -> SelectionResult:
+    """Scan-based E-selection: exact, expression-flexible.
+
+    Args:
+        relation: ``(n, d)`` embeddings or raw items (prefetch-embedded).
+        query: a query vector or raw item.
+        condition: threshold (``cos >= t``) or top-k condition.
+    """
+    validate_condition(condition)
+    stats = JoinStats(strategy="eselect/scan")
+    start = time.perf_counter()
+    matrix = _as_matrix(relation, model, stats)
+    stats.n_left = len(matrix)
+    qvec = _query_vector(query, model, stats)
+    if matrix.shape[1] != qvec.shape[0]:
+        raise DimensionalityError(
+            f"relation dim {matrix.shape[1]} != query dim {qvec.shape[0]}"
+        )
+    scores = normalize_rows(matrix) @ qvec
+    stats.similarity_evaluations = len(scores)
+
+    if isinstance(condition, ThresholdCondition):
+        ids = np.nonzero(scores >= condition.threshold)[0]
+    else:
+        assert isinstance(condition, TopKCondition)
+        ids = top_k_indices(scores, condition.k)
+        if condition.min_similarity is not None:
+            ids = ids[scores[ids] >= condition.min_similarity]
+    stats.seconds = time.perf_counter() - start
+    stats.pairs_emitted = len(ids)
+    return SelectionResult(ids, scores[ids], stats)
+
+
+def eselect_index(
+    index: VectorIndex,
+    query,
+    condition: JoinCondition,
+    *,
+    model: EmbeddingModel | None = None,
+    allowed: np.ndarray | None = None,
+    probe_k: int = 32,
+) -> SelectionResult:
+    """Probe-based E-selection against a built vector index.
+
+    Threshold conditions are emulated via top-``probe_k`` retrieval plus a
+    post-filter — the same build-time-distance limitation as the index join.
+    """
+    validate_condition(condition)
+    if probe_k < 1:
+        raise JoinError(f"probe_k must be >= 1, got {probe_k}")
+    stats = JoinStats(strategy=f"eselect/{type(index).__name__.lower()}")
+    start = time.perf_counter()
+    stats.n_left = len(index)
+    qvec = _query_vector(query, model, stats)
+    if qvec.shape[0] != index.dim:
+        raise DimensionalityError(
+            f"query dim {qvec.shape[0]} != index dim {index.dim}"
+        )
+    if isinstance(condition, TopKCondition):
+        k, post = condition.k, condition.min_similarity
+    else:
+        assert isinstance(condition, ThresholdCondition)
+        k, post = probe_k, condition.threshold
+    found = index.search(qvec, k, allowed=allowed)
+    ids, scores = found.ids, found.scores
+    if post is not None:
+        keep = scores >= post
+        ids, scores = ids[keep], scores[keep]
+    stats.seconds = time.perf_counter() - start
+    stats.pairs_emitted = len(ids)
+    return SelectionResult(ids, scores, stats)

@@ -1,0 +1,200 @@
+"""Unified context-enhanced join entry point.
+
+:func:`ejoin` dispatches a declarative E-join request to one of the
+physical strategies this repo implements, or chooses automatically with the
+cost model's access-path selector — the operator-level counterpart of the
+paper's holistic optimization story.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..embedding.base import EmbeddingModel
+from ..errors import JoinError
+from ..index.base import VectorIndex
+from ..vector.kernels import Kernel
+from .conditions import (
+    JoinCondition,
+    ThresholdCondition,
+    TopKCondition,
+    validate_condition,
+)
+from .cost_model import CostParams, choose_access_path
+from .index_join import DEFAULT_PROBE_K, index_join
+from .nlj import naive_nlj, prefetch_nlj
+from .parallel import parallel_join
+from .result import JoinResult
+from .tensor_join import tensor_join
+
+#: Valid strategy names for :func:`ejoin`.
+STRATEGIES = (
+    "auto",
+    "naive-nlj",
+    "nlj",
+    "nlj-scalar",
+    "tensor",
+    "parallel-tensor",
+    "index",
+)
+
+
+def _resolve_vectors(side, model: EmbeddingModel | None) -> np.ndarray:
+    if isinstance(side, np.ndarray):
+        return np.asarray(side, dtype=np.float32)
+    if model is None:
+        raise JoinError("raw join inputs require an embedding model")
+    return model.embed_batch(list(side))
+
+
+def ejoin(
+    left,
+    right=None,
+    condition: JoinCondition | None = None,
+    *,
+    model: EmbeddingModel | None = None,
+    strategy: str = "auto",
+    index: VectorIndex | None = None,
+    allowed: np.ndarray | None = None,
+    probe_k: int | None = None,
+    n_threads: int | None = None,
+    batch_left: int | None = None,
+    batch_right: int | None = None,
+    buffer_budget_bytes: int | None = None,
+    cost_params: CostParams | None = None,
+    selectivity_hint: float = 1.0,
+) -> JoinResult:
+    """Context-enhanced join of two relations over embeddings.
+
+    Args:
+        left: probe-side vectors ``(n, d)`` or raw items (needs ``model``).
+        right: base-side vectors/items; may be ``None`` when ``index`` holds
+            the base side.
+        condition: :class:`ThresholdCondition` or :class:`TopKCondition`.
+        model: embedding model for raw inputs (prefetch-embedded once,
+            except under ``strategy="naive-nlj"`` which embeds per pair).
+        strategy: one of ``auto | naive-nlj | nlj | nlj-scalar | tensor |
+            parallel-tensor | index``.
+        index: pre-built vector index over the right relation (enables the
+            ``index`` strategy and informs ``auto``).
+        allowed: pre-filter bitmap over right ids (index strategy).
+        probe_k: retrieval depth when a threshold condition runs on an index.
+        selectivity_hint: relational selectivity estimate for ``auto``'s
+            access-path selection.
+
+    Returns:
+        :class:`JoinResult` of matched offset pairs and their similarities.
+    """
+    if condition is None:
+        raise JoinError("a join condition is required")
+    validate_condition(condition)
+    if strategy not in STRATEGIES:
+        raise JoinError(f"unknown strategy {strategy!r}; have {STRATEGIES}")
+
+    if strategy == "auto":
+        strategy = _auto_strategy(
+            left,
+            right,
+            condition,
+            model=model,
+            index=index,
+            probe_k=probe_k,
+            cost_params=cost_params,
+            selectivity_hint=selectivity_hint,
+        )
+
+    if strategy == "naive-nlj":
+        if model is None:
+            raise JoinError("naive-nlj joins raw items; an embedding model "
+                            "is required")
+        if right is None:
+            raise JoinError("naive-nlj requires an explicit right input")
+        return naive_nlj(list(left), list(right), model, condition)
+
+    if strategy in ("nlj", "nlj-scalar"):
+        if right is None:
+            raise JoinError(f"{strategy} requires an explicit right input")
+        kernel = Kernel.SCALAR if strategy == "nlj-scalar" else Kernel.VECTORIZED
+        return prefetch_nlj(left, right, condition, model=model, kernel=kernel)
+
+    if strategy == "tensor":
+        if right is None:
+            raise JoinError("tensor strategy requires an explicit right input")
+        return tensor_join(
+            left,
+            right,
+            condition,
+            model=model,
+            batch_left=batch_left,
+            batch_right=batch_right,
+            buffer_budget_bytes=buffer_budget_bytes,
+        )
+
+    if strategy == "parallel-tensor":
+        if right is None:
+            raise JoinError("parallel-tensor requires an explicit right input")
+        left_v = _resolve_vectors(left, model)
+        right_v = _resolve_vectors(right, model)
+        return parallel_join(
+            left_v,
+            right_v,
+            condition,
+            strategy="tensor",
+            n_threads=n_threads,
+            batch_left=batch_left,
+            batch_right=batch_right,
+        )
+
+    assert strategy == "index"
+    if index is None:
+        raise JoinError("index strategy requires a built vector index")
+    return index_join(
+        left,
+        index,
+        condition,
+        model=model,
+        allowed=allowed,
+        probe_k=probe_k,
+    )
+
+
+def _auto_strategy(
+    left,
+    right,
+    condition: JoinCondition,
+    *,
+    model: EmbeddingModel | None,
+    index: VectorIndex | None,
+    probe_k: int | None,
+    cost_params: CostParams | None,
+    selectivity_hint: float,
+) -> str:
+    """Cost-based physical strategy selection."""
+    n_left = len(left)
+    if index is not None:
+        n_base = len(index)
+        dim = index.dim
+        if isinstance(condition, TopKCondition):
+            k = condition.k
+        else:
+            k = DEFAULT_PROBE_K if probe_k is None else probe_k
+        decision = choose_access_path(
+            n_left,
+            n_base,
+            k,
+            dim,
+            selectivity=selectivity_hint,
+            params=cost_params,
+        )
+        if decision.choice == "index":
+            return "index"
+    if right is None:
+        # Only the index holds the base side; a scan is impossible.
+        if index is None:
+            raise JoinError("auto strategy needs either right input or index")
+        return "index"
+    # Scan path: single-threaded tensor for small inputs, parallel beyond.
+    n_right = len(right)
+    if n_left * n_right >= 4_000_000 and isinstance(left, np.ndarray):
+        return "parallel-tensor"
+    return "tensor"

@@ -1,0 +1,117 @@
+"""Data-parallel E-join execution (Section V-A, Figure 9).
+
+The paper parallelizes by partitioning the input relations along tuple
+boundaries and running the join kernel per partition on affinitized
+threads.  Here each worker runs NumPy/BLAS kernels that release the GIL, so
+a thread pool yields genuine multicore scaling for the vectorized and GEMM
+paths — the Python analogue of the paper's 48-thread runs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..config import cpu_count
+from ..errors import JoinError
+from ..vector.kernels import Kernel
+from ..vector.norms import normalize_rows
+from .conditions import JoinCondition, validate_condition
+from .nlj import prefetch_nlj
+from .result import JoinResult, JoinStats
+from .tensor_join import tensor_join
+
+
+def partition_rows(n: int, n_parts: int) -> list[tuple[int, int]]:
+    """Split ``[0, n)`` into at most ``n_parts`` contiguous ranges."""
+    if n_parts < 1:
+        raise JoinError(f"n_parts must be >= 1, got {n_parts}")
+    n_parts = min(n_parts, max(n, 1))
+    bounds = np.linspace(0, n, n_parts + 1, dtype=np.int64)
+    return [
+        (int(bounds[i]), int(bounds[i + 1]))
+        for i in range(n_parts)
+        if bounds[i + 1] > bounds[i]
+    ]
+
+
+def _offset_result(part: JoinResult, offset: int) -> JoinResult:
+    return JoinResult(
+        part.left_ids + offset, part.right_ids, part.scores, part.stats
+    )
+
+
+def parallel_join(
+    left: np.ndarray,
+    right: np.ndarray,
+    condition: JoinCondition,
+    *,
+    strategy: str = "tensor",
+    n_threads: int | None = None,
+    kernel: Kernel = Kernel.VECTORIZED,
+    batch_left: int | None = None,
+    batch_right: int | None = None,
+) -> JoinResult:
+    """Partition the left relation and join partitions concurrently.
+
+    Args:
+        strategy: ``"tensor"`` (GEMM blocks per worker) or ``"nlj"``
+            (prefetch NLJ per worker).
+        n_threads: worker count; defaults to the machine's CPU count.
+        kernel: similarity kernel for the NLJ strategy.
+
+    The result is identical to the single-threaded operator (partitioning
+    is along tuples; both condition families are per-left-tuple, so no
+    cross-partition merge is needed).
+    """
+    validate_condition(condition)
+    if strategy not in ("tensor", "nlj"):
+        raise JoinError(f"unknown parallel strategy {strategy!r}")
+    left = np.asarray(left, dtype=np.float32)
+    right = np.asarray(right, dtype=np.float32)
+    n_threads = cpu_count() if n_threads is None else max(1, int(n_threads))
+
+    stats = JoinStats(strategy=f"parallel-{strategy}/{n_threads}t")
+    start = time.perf_counter()
+    stats.n_left, stats.n_right = len(left), len(right)
+
+    # Normalize once, outside the workers (shared read-only operands).
+    left_n = normalize_rows(left)
+    right_n = normalize_rows(right)
+    parts = partition_rows(len(left_n), n_threads)
+
+    def run_part(bounds: tuple[int, int]) -> JoinResult:
+        lo, hi = bounds
+        chunk = left_n[lo:hi]
+        if strategy == "tensor":
+            part = tensor_join(
+                chunk,
+                right_n,
+                condition,
+                batch_left=batch_left,
+                batch_right=batch_right,
+                assume_normalized=True,
+            )
+        else:
+            part = prefetch_nlj(chunk, right_n, condition, kernel=kernel)
+        return _offset_result(part, lo)
+
+    if n_threads == 1 or len(parts) == 1:
+        results = [run_part(p) for p in parts]
+    else:
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            results = list(pool.map(run_part, parts))
+
+    merged = JoinResult.concat(results, stats)
+    stats.similarity_evaluations = sum(
+        r.stats.similarity_evaluations for r in results
+    )
+    stats.batch_invocations = sum(r.stats.batch_invocations for r in results)
+    stats.peak_buffer_elements = max(
+        (r.stats.peak_buffer_elements for r in results), default=0
+    )
+    stats.seconds = time.perf_counter() - start
+    stats.pairs_emitted = len(merged)
+    return merged

@@ -1,0 +1,162 @@
+"""E-join result set: batch-offset pairs with late materialization.
+
+Following Figure 6 (step 2) the join result is a *sparse set of offset
+pairs* — ``(left_id, right_id, similarity)`` triples — rather than
+materialized tuples.  This "is more compact as tuples of offsets represent
+unique tensor identifiers" (Section IV-C); actual payload columns are only
+gathered on demand (:meth:`JoinResult.materialize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import JoinError
+from ..relational.table import Table
+
+
+@dataclass
+class JoinStats:
+    """Execution statistics of one E-join run."""
+
+    strategy: str = ""
+    n_left: int = 0
+    n_right: int = 0
+    pairs_emitted: int = 0
+    model_calls: int = 0
+    similarity_evaluations: int = 0
+    peak_buffer_elements: int = 0
+    batch_invocations: int = 0
+    seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class JoinResult:
+    """Sparse pair-offset result of an E-join."""
+
+    left_ids: np.ndarray
+    right_ids: np.ndarray
+    scores: np.ndarray
+    stats: JoinStats = field(default_factory=JoinStats)
+
+    def __post_init__(self) -> None:
+        self.left_ids = np.asarray(self.left_ids, dtype=np.int64)
+        self.right_ids = np.asarray(self.right_ids, dtype=np.int64)
+        self.scores = np.asarray(self.scores, dtype=np.float32)
+        if not (
+            len(self.left_ids) == len(self.right_ids) == len(self.scores)
+        ):
+            raise JoinError(
+                f"ragged result arrays: {len(self.left_ids)}, "
+                f"{len(self.right_ids)}, {len(self.scores)}"
+            )
+        self.stats.pairs_emitted = len(self.left_ids)
+
+    @classmethod
+    def empty(cls, stats: JoinStats | None = None) -> "JoinResult":
+        return cls(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float32),
+            stats or JoinStats(),
+        )
+
+    @classmethod
+    def concat(cls, parts: list["JoinResult"], stats: JoinStats | None = None) -> "JoinResult":
+        """Combine partial results (mini-batch / parallel partitions)."""
+        if not parts:
+            return cls.empty(stats)
+        return cls(
+            np.concatenate([p.left_ids for p in parts]),
+            np.concatenate([p.right_ids for p in parts]),
+            np.concatenate([p.scores for p in parts]),
+            stats or JoinStats(),
+        )
+
+    def __len__(self) -> int:
+        return len(self.left_ids)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def pairs(self) -> set[tuple[int, int]]:
+        """Result as a set of (left, right) offset pairs (order-free)."""
+        return set(zip(self.left_ids.tolist(), self.right_ids.tolist()))
+
+    def sorted(self) -> "JoinResult":
+        """Canonical ordering: by left id, then right id."""
+        order = np.lexsort((self.right_ids, self.left_ids))
+        return JoinResult(
+            self.left_ids[order],
+            self.right_ids[order],
+            self.scores[order],
+            self.stats,
+        )
+
+    def to_sparse(self, shape: tuple[int, int]) -> sparse.coo_matrix:
+        """The result as a sparse |R| x |S| score matrix (Figure 6)."""
+        return sparse.coo_matrix(
+            (self.scores, (self.left_ids, self.right_ids)), shape=shape
+        )
+
+    def nbytes(self) -> int:
+        """Memory footprint of the offset representation."""
+        return int(
+            self.left_ids.nbytes + self.right_ids.nbytes + self.scores.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    # Late materialization
+    # ------------------------------------------------------------------
+    def materialize(
+        self,
+        left: Table,
+        right: Table,
+        *,
+        prefixes: tuple[str, str] = ("l_", "r_"),
+        score_column: str = "similarity",
+    ) -> Table:
+        """Gather payload columns for the matched offsets.
+
+        This is the late-materialization step: offsets are only exchanged
+        for full tuples at the plan position that needs them.
+        """
+        if len(self.left_ids) and (
+            self.left_ids.max() >= left.num_rows
+            or self.right_ids.max() >= right.num_rows
+        ):
+            raise JoinError(
+                "result offsets exceed input table sizes; wrong tables passed "
+                "to materialize()"
+            )
+        out = left.take(self.left_ids).zip_columns(
+            right.take(self.right_ids), prefixes=prefixes
+        )
+        from ..relational.column import Column
+        from ..relational.schema import DataType, Field
+
+        if score_column:
+            out = out.with_column(
+                Column(
+                    Field(score_column, DataType.FLOAT32),
+                    self.scores,
+                )
+            )
+        return out
+
+    def top_per_left(self) -> "JoinResult":
+        """Keep only each left id's single best match (utility view)."""
+        if len(self) == 0:
+            return self
+        order = np.lexsort((-self.scores, self.left_ids))
+        left_sorted = self.left_ids[order]
+        first = np.ones(len(order), dtype=bool)
+        first[1:] = left_sorted[1:] != left_sorted[:-1]
+        keep = order[first]
+        return JoinResult(
+            self.left_ids[keep], self.right_ids[keep], self.scores[keep], self.stats
+        )

@@ -1,0 +1,275 @@
+"""Tensor-join formulation (Sections IV-C, V-B; Figures 6, 7, 11-14).
+
+The join becomes a block-matrix dot product: normalize both relations once
+(cosine == dot for unit vectors), partition **along tuple boundaries, not
+dimensions**, and compute ``D = R @ S.T`` block-by-block with BLAS GEMM.
+Each block's dense intermediate is pruned to qualifying offset pairs before
+the next block runs, so peak memory is ``batch_left * batch_right`` floats
+regardless of input size (the Figure 7 buffer budget).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from ..embedding.base import EmbeddingModel
+from ..errors import BufferBudgetError, DimensionalityError
+from ..vector.norms import normalize_rows
+from ..vector.topk import top_k_per_row
+from .conditions import (
+    JoinCondition,
+    ThresholdCondition,
+    TopKCondition,
+    validate_condition,
+)
+from .nlj import _as_matrix
+from .result import JoinResult, JoinStats
+
+#: Bytes per FP32 score cell in the intermediate matrix.
+_CELL_BYTES = 4
+
+
+def resolve_batch_shape(
+    n_left: int,
+    n_right: int,
+    *,
+    batch_left: int | None = None,
+    batch_right: int | None = None,
+    buffer_budget_bytes: int | None = None,
+) -> tuple[int, int]:
+    """Derive mini-batch edges from explicit sizes or a buffer budget.
+
+    With only a budget, the edges are chosen square-ish:
+    ``batch_l * batch_r * 4 bytes <= budget``.
+    """
+    if n_left <= 0 or n_right <= 0:
+        return max(n_left, 1), max(n_right, 1)
+    if buffer_budget_bytes is not None:
+        cells = buffer_budget_bytes // _CELL_BYTES
+        if cells < 1:
+            raise BufferBudgetError(
+                f"buffer budget {buffer_budget_bytes}B cannot hold one FP32 cell"
+            )
+        edge = int(math.isqrt(cells))
+        batch_left = batch_left or min(n_left, max(edge, 1))
+        batch_right = batch_right or min(n_right, max(cells // max(batch_left, 1), 1))
+    batch_left = n_left if batch_left is None else min(batch_left, n_left)
+    batch_right = n_right if batch_right is None else min(batch_right, n_right)
+    if batch_left < 1 or batch_right < 1:
+        raise BufferBudgetError(
+            f"invalid batch shape ({batch_left}, {batch_right})"
+        )
+    return batch_left, batch_right
+
+
+def tensor_join(
+    left,
+    right,
+    condition: JoinCondition,
+    *,
+    model: EmbeddingModel | None = None,
+    batch_left: int | None = None,
+    batch_right: int | None = None,
+    buffer_budget_bytes: int | None = None,
+    assume_normalized: bool = False,
+) -> JoinResult:
+    """Scan-based exact E-join via blocked GEMM.
+
+    Args:
+        left, right: ``(n, d)`` embedding matrices, or raw items with
+            ``model`` (prefetch-embedded once).
+        condition: threshold or top-k join condition.
+        batch_left, batch_right: explicit mini-batch edges in tuples.
+        buffer_budget_bytes: alternatively, a memory budget for the dense
+            intermediate (Figure 7's ``Buffer``); batch edges are derived.
+        assume_normalized: skip normalization when inputs are already unit
+            rows (ablation: pre-normalized storage).
+
+    Returns:
+        Sparse offset-pair :class:`JoinResult`; ``stats`` records peak
+        buffer cells and GEMM invocations for the Figure 13 trade-off.
+    """
+    validate_condition(condition)
+    stats = JoinStats(strategy="tensor")
+    start = time.perf_counter()
+
+    left_m = _as_matrix(left, model, stats)
+    right_m = _as_matrix(right, model, stats)
+    if left_m.shape[1] != right_m.shape[1]:
+        raise DimensionalityError(
+            f"dimensionality mismatch: {left_m.shape[1]} vs {right_m.shape[1]}"
+        )
+    stats.n_left, stats.n_right = len(left_m), len(right_m)
+    if stats.n_left == 0 or stats.n_right == 0:
+        stats.seconds = time.perf_counter() - start
+        return JoinResult.empty(stats)
+
+    left_n = left_m if assume_normalized else normalize_rows(left_m)
+    right_n = right_m if assume_normalized else normalize_rows(right_m)
+
+    bl, br = resolve_batch_shape(
+        stats.n_left,
+        stats.n_right,
+        batch_left=batch_left,
+        batch_right=batch_right,
+        buffer_budget_bytes=buffer_budget_bytes,
+    )
+    stats.peak_buffer_elements = bl * br
+    stats.extra["batch_shape"] = (bl, br)
+
+    if isinstance(condition, ThresholdCondition):
+        result = _threshold_blocks(left_n, right_n, condition, bl, br, stats)
+    else:
+        assert isinstance(condition, TopKCondition)
+        result = _topk_blocks(left_n, right_n, condition, bl, br, stats)
+    stats.seconds = time.perf_counter() - start
+    result.stats = stats
+    stats.pairs_emitted = len(result)
+    return result
+
+
+def _threshold_blocks(
+    left_n: np.ndarray,
+    right_n: np.ndarray,
+    condition: ThresholdCondition,
+    bl: int,
+    br: int,
+    stats: JoinStats,
+) -> JoinResult:
+    out_l: list[np.ndarray] = []
+    out_r: list[np.ndarray] = []
+    out_s: list[np.ndarray] = []
+    for l0 in range(0, left_n.shape[0], bl):
+        lb = left_n[l0 : l0 + bl]
+        for r0 in range(0, right_n.shape[0], br):
+            rb = right_n[r0 : r0 + br]
+            scores = lb @ rb.T  # dense GEMM block (Figure 6 step 1)
+            stats.batch_invocations += 1
+            stats.similarity_evaluations += scores.size
+            li, ri = np.nonzero(scores >= condition.threshold)
+            if len(li) == 0:
+                continue
+            # Map block-local offsets back via batch offsets (Fig. 6 step 2).
+            out_l.append(li.astype(np.int64) + l0)
+            out_r.append(ri.astype(np.int64) + r0)
+            out_s.append(scores[li, ri].astype(np.float32))
+    if not out_l:
+        return JoinResult.empty(stats)
+    return JoinResult(
+        np.concatenate(out_l),
+        np.concatenate(out_r),
+        np.concatenate(out_s),
+        stats,
+    )
+
+
+def _topk_blocks(
+    left_n: np.ndarray,
+    right_n: np.ndarray,
+    condition: TopKCondition,
+    bl: int,
+    br: int,
+    stats: JoinStats,
+) -> JoinResult:
+    k = condition.k
+    out_l: list[np.ndarray] = []
+    out_r: list[np.ndarray] = []
+    out_s: list[np.ndarray] = []
+    for l0 in range(0, left_n.shape[0], bl):
+        lb = left_n[l0 : l0 + bl]
+        n_lb = lb.shape[0]
+        # Per-left-row candidate pool merged across right blocks.
+        cand_ids: np.ndarray | None = None
+        cand_scores: np.ndarray | None = None
+        for r0 in range(0, right_n.shape[0], br):
+            rb = right_n[r0 : r0 + br]
+            scores = lb @ rb.T
+            stats.batch_invocations += 1
+            stats.similarity_evaluations += scores.size
+            local = top_k_per_row(scores, k)
+            local_scores = np.take_along_axis(scores, local, axis=1)
+            local_ids = local.astype(np.int64) + r0
+            if cand_ids is None:
+                cand_ids, cand_scores = local_ids, local_scores
+            else:
+                cand_ids = np.concatenate([cand_ids, local_ids], axis=1)
+                cand_scores = np.concatenate([cand_scores, local_scores], axis=1)
+                keep = top_k_per_row(cand_scores, k)
+                cand_ids = np.take_along_axis(cand_ids, keep, axis=1)
+                cand_scores = np.take_along_axis(cand_scores, keep, axis=1)
+        assert cand_ids is not None and cand_scores is not None
+        kk = cand_ids.shape[1]
+        li = np.repeat(np.arange(n_lb, dtype=np.int64) + l0, kk)
+        ri = cand_ids.reshape(-1)
+        sc = cand_scores.reshape(-1).astype(np.float32)
+        if condition.min_similarity is not None:
+            keep = sc >= condition.min_similarity
+            li, ri, sc = li[keep], ri[keep], sc[keep]
+        out_l.append(li)
+        out_r.append(ri)
+        out_s.append(sc)
+    if not out_l:
+        return JoinResult.empty(stats)
+    return JoinResult(
+        np.concatenate(out_l),
+        np.concatenate(out_r),
+        np.concatenate(out_s),
+        stats,
+    )
+
+
+def tensor_join_non_batched(
+    left,
+    right,
+    condition: JoinCondition,
+    *,
+    model: EmbeddingModel | None = None,
+) -> JoinResult:
+    """Figure 12's "Tensor-Non-Batched" strategy.
+
+    One input stays fully batched; the other is streamed **one vector at a
+    time** through the BLAS kernel.  Numerically identical to
+    :func:`tensor_join`, but each matrix-vector call re-reads the batched
+    operand — the redundant data movement the fully-batched formulation
+    eliminates.
+    """
+    validate_condition(condition)
+    stats = JoinStats(strategy="tensor-non-batched")
+    start = time.perf_counter()
+    left_m = _as_matrix(left, model, stats)
+    right_m = _as_matrix(right, model, stats)
+    if left_m.shape[1] != right_m.shape[1]:
+        raise DimensionalityError(
+            f"dimensionality mismatch: {left_m.shape[1]} vs {right_m.shape[1]}"
+        )
+    stats.n_left, stats.n_right = len(left_m), len(right_m)
+    left_n = normalize_rows(left_m)
+    right_n = normalize_rows(right_m)
+
+    from .nlj import _emit_row  # row-wise condition evaluation
+
+    out_l: list[np.ndarray] = []
+    out_r: list[np.ndarray] = []
+    out_s: list[np.ndarray] = []
+    for i in range(left_n.shape[0]):
+        row = right_n @ left_n[i]  # matrix-vector: right batched, left streamed
+        stats.batch_invocations += 1
+        stats.similarity_evaluations += row.shape[0]
+        idx, picked = _emit_row(row, condition)
+        if len(idx) == 0:
+            continue
+        out_l.append(np.full(len(idx), i, dtype=np.int64))
+        out_r.append(idx.astype(np.int64))
+        out_s.append(picked.astype(np.float32))
+    stats.seconds = time.perf_counter() - start
+    if not out_l:
+        return JoinResult.empty(stats)
+    return JoinResult(
+        np.concatenate(out_l),
+        np.concatenate(out_r),
+        np.concatenate(out_s),
+        stats,
+    )

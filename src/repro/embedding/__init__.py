@@ -1,0 +1,31 @@
+"""Embedding substrate: models, training corpus, cache, registry."""
+
+from .base import EmbeddingModel, ModelUsage
+from .cache import EmbeddingStore
+from .corpus import (
+    DEFAULT_TOPICS,
+    SemanticCorpus,
+    generate_corpus,
+    make_misspelling,
+    pluralize,
+)
+from .fasttext import FastTextModel
+from .hashing_model import HashingEmbedder, char_ngrams, hash_ngram
+from .registry import ModelRegistry, default_registry
+
+__all__ = [
+    "DEFAULT_TOPICS",
+    "EmbeddingModel",
+    "EmbeddingStore",
+    "FastTextModel",
+    "HashingEmbedder",
+    "ModelRegistry",
+    "ModelUsage",
+    "SemanticCorpus",
+    "char_ngrams",
+    "default_registry",
+    "generate_corpus",
+    "hash_ngram",
+    "make_misspelling",
+    "pluralize",
+]

@@ -1,0 +1,124 @@
+"""Embedding model interface: the ``E_mu`` operator's model side.
+
+The paper's cost model (Section IV-A) charges ``M`` per model invocation;
+whether the naive E-NLJ pays ``|R|*|S|*M`` or the prefetch formulation pays
+``(|R|+|S|)*M`` is *the* logical optimization of the paper.  To make that
+claim testable (not just timeable), every model tracks:
+
+* ``calls`` — number of embed invocations (batch = one call per item, to
+  mirror per-tuple model access in the paper's cost model),
+* ``items`` — total items embedded,
+* plus an optional simulated per-call latency so experiments can dial the
+  model cost M relative to A and C (lookup table vs. deep network vs.
+  model-as-a-service, all discussed in Section IV-A).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import EmbeddingError
+from ..vector.norms import normalize_rows
+
+
+@dataclass
+class ModelUsage:
+    """Cost-model counters for one embedding model instance."""
+
+    calls: int = 0
+    items: int = 0
+    seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.items = 0
+        self.seconds = 0.0
+        self.extra.clear()
+
+
+class EmbeddingModel(abc.ABC):
+    """Abstract embedding model ``mu``: maps context-rich items to tensors.
+
+    Subclasses implement :meth:`_embed_batch`; the public :meth:`embed` /
+    :meth:`embed_batch` wrappers maintain usage counters and the optional
+    simulated latency, and guarantee unit-normalized float32 output (cosine
+    similarity then reduces to a dot product, Section IV-C).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        name: str = "",
+        simulated_latency_s: float = 0.0,
+        normalize: bool = True,
+    ) -> None:
+        if dim <= 0:
+            raise EmbeddingError(f"embedding dim must be positive, got {dim}")
+        self.dim = int(dim)
+        self.name = name or type(self).__name__
+        self.simulated_latency_s = float(simulated_latency_s)
+        self.normalize = bool(normalize)
+        self.usage = ModelUsage()
+
+    # -- to be provided by subclasses -----------------------------------
+    @abc.abstractmethod
+    def _embed_batch(self, items: list) -> np.ndarray:
+        """Embed items into an ``(len(items), dim)`` float32 matrix."""
+
+    # -- public API ------------------------------------------------------
+    def embed(self, item) -> np.ndarray:
+        """Embed a single item (counts as one model call)."""
+        return self.embed_batch([item])[0]
+
+    def embed_batch(self, items: list) -> np.ndarray:
+        """Embed many items.
+
+        Counts ``len(items)`` model calls: the paper's per-tuple model cost
+        ``M`` is charged per embedded tuple regardless of batching, which is
+        what makes the naive join's quadratic model cost visible.
+        """
+        items = list(items)
+        start = time.perf_counter()
+        if self.simulated_latency_s > 0.0 and items:
+            # Model cost on the critical path (lookup table / network / paid
+            # API): simulate one latency unit per item.
+            time.sleep(self.simulated_latency_s * len(items))
+        if items:
+            out = np.asarray(self._embed_batch(items), dtype=np.float32)
+        else:
+            out = np.empty((0, self.dim), dtype=np.float32)
+        if out.shape != (len(items), self.dim):
+            raise EmbeddingError(
+                f"model {self.name} produced shape {out.shape}, expected "
+                f"({len(items)}, {self.dim})"
+            )
+        if self.normalize:
+            out = normalize_rows(out, copy=False)
+        self.usage.calls += len(items)
+        self.usage.items += len(items)
+        self.usage.seconds += time.perf_counter() - start
+        return out
+
+    # -- decoding (E^-1) ---------------------------------------------------
+    def decode(self, vector: np.ndarray):
+        """Inverse mapping ``E^-1`` — optional.
+
+        Models without a decoder raise; callers should then fall back to the
+        lookup-table mechanism (:class:`~repro.embedding.cache.EmbeddingStore`),
+        exactly as Section III-C prescribes.
+        """
+        raise EmbeddingError(
+            f"model {self.name} has no decoder; use an EmbeddingStore lookup"
+        )
+
+    def reset_usage(self) -> None:
+        self.usage.reset()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(dim={self.dim}, name={self.name!r})"

@@ -1,0 +1,191 @@
+"""Synthetic semantic corpus generation.
+
+The paper trains FastText on a Wikipedia subset (Section VI-A) to obtain
+semantic matching (Table II).  That corpus is not available offline, so we
+build a *synthetic* corpus with engineered semantic structure:
+
+* **topics** — groups of related words (e.g. database systems, clothing);
+  sentences sample words from a single topic, so skip-gram training makes
+  same-topic words close — this reproduces the "dbms → rdbms, postgresql,
+  sqlite..." behaviour of Table II,
+* **plural forms** and **misspellings** — injected as low-probability
+  variants, so the subword model learns that they are interchangeable with
+  the base word — reproducing the "clothes → clothings, underwears"
+  resilience the paper attributes to FastText.
+
+Everything is seeded through :mod:`repro.config` for deterministic runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import get_config
+from ..errors import WorkloadError
+
+#: Default topical lexicon, modelled on the probe words of Table II.
+DEFAULT_TOPICS: dict[str, list[str]] = {
+    "databases": [
+        "dbms", "rdbms", "nosql", "postgres", "postgresql", "sql", "sqlite",
+        "mysql", "couchdb", "oltp", "olap", "dataflow", "ldap", "odbc",
+        "backend", "postgis", "oodbms", "ordbms",
+    ],
+    "clothing": [
+        "clothes", "clothing", "dresses", "garments", "underwear",
+        "bedclothes", "undergarments", "towels", "scarves", "shoes",
+        "nightgowns", "bathrobes", "underclothes", "jackets", "trousers",
+    ],
+    "cooking": [
+        "barbecue", "bbq", "grilling", "roasting", "baking", "frying",
+        "cooking", "kitchen", "recipe", "skewers", "marinade", "charcoal",
+    ],
+    "computing": [
+        "computer", "processor", "cpu", "memory", "cache", "kernel",
+        "compiler", "algorithm", "software", "hardware", "network",
+        "server",
+    ],
+    "music": [
+        "guitar", "piano", "violin", "drums", "orchestra", "melody",
+        "harmony", "concert", "singer", "rhythm", "chord", "tempo",
+    ],
+}
+
+_VOWELS = "aeiou"
+_CONSONANTS = "bcdfghjklmnpqrstvwxyz"
+
+
+def pluralize(word: str) -> str:
+    """Naive English pluralization (enough for corpus variant injection)."""
+    if word.endswith(("s", "x", "z", "ch", "sh")):
+        return word + "es"
+    if word.endswith("y") and len(word) > 1 and word[-2] not in _VOWELS:
+        return word[:-1] + "ies"
+    return word + "s"
+
+
+def make_misspelling(word: str, rng: np.random.Generator) -> str:
+    """Apply one random edit (substitute / delete / insert / transpose)."""
+    if len(word) < 3:
+        return word
+    ops = ["substitute", "delete", "insert", "transpose"]
+    op = ops[int(rng.integers(len(ops)))]
+    # Never touch the first character: keeps the variant recognisable and
+    # shares the leading n-grams with the original.
+    pos = int(rng.integers(1, len(word)))
+    letters = _VOWELS + _CONSONANTS
+    if op == "substitute":
+        ch = letters[int(rng.integers(len(letters)))]
+        return word[:pos] + ch + word[pos + 1 :]
+    if op == "delete":
+        return word[:pos] + word[pos + 1 :]
+    if op == "insert":
+        ch = letters[int(rng.integers(len(letters)))]
+        return word[:pos] + ch + word[pos:]
+    if pos < len(word) - 1:
+        return word[:pos] + word[pos + 1] + word[pos] + word[pos + 2 :]
+    return word
+
+
+@dataclass
+class SemanticCorpus:
+    """A generated corpus plus the ground-truth semantic structure.
+
+    Attributes:
+        sentences: Token lists (training input).
+        topics: topic name -> base words.
+        variants: base word -> its injected variants (plural, misspellings).
+    """
+
+    sentences: list[list[str]]
+    topics: dict[str, list[str]]
+    variants: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def vocabulary(self) -> list[str]:
+        vocab: set[str] = set()
+        for sent in self.sentences:
+            vocab.update(sent)
+        return sorted(vocab)
+
+    def topic_of(self, word: str) -> str | None:
+        """Topic of a base word or of any of its variants, if known."""
+        for topic, words in self.topics.items():
+            if word in words:
+                return topic
+        for base, vs in self.variants.items():
+            if word in vs:
+                return self.topic_of(base)
+        return None
+
+    def related_words(self, word: str) -> set[str]:
+        """Ground-truth semantic neighbours: same topic plus variants."""
+        related: set[str] = set()
+        topic = self.topic_of(word)
+        if topic is not None:
+            for base in self.topics[topic]:
+                related.add(base)
+                related.update(self.variants.get(base, ()))
+        related.discard(word)
+        return related
+
+
+def generate_corpus(
+    *,
+    topics: dict[str, list[str]] | None = None,
+    n_sentences: int = 4000,
+    sentence_length: tuple[int, int] = (6, 12),
+    misspelling_rate: float = 0.05,
+    plural_rate: float = 0.10,
+    n_misspellings_per_word: int = 2,
+    seed: int | None = None,
+) -> SemanticCorpus:
+    """Generate a topical corpus with plural/misspelling variants.
+
+    Each sentence draws all its tokens from a single topic, which is what
+    gives skip-gram training its co-occurrence signal.
+    """
+    topics = dict(DEFAULT_TOPICS if topics is None else topics)
+    if not topics:
+        raise WorkloadError("at least one topic is required")
+    for name, words in topics.items():
+        if len(words) < 2:
+            raise WorkloadError(f"topic {name!r} needs >= 2 words")
+    lo, hi = sentence_length
+    if not 1 <= lo <= hi:
+        raise WorkloadError(f"invalid sentence_length range {sentence_length}")
+
+    seed = get_config().stream_seed("semantic-corpus") if seed is None else seed
+    rng = np.random.default_rng(seed)
+
+    # Pre-generate variants for every base word.
+    variants: dict[str, list[str]] = {}
+    for words in topics.values():
+        for word in words:
+            vs = [pluralize(word)]
+            for _ in range(n_misspellings_per_word):
+                mis = make_misspelling(word, rng)
+                if mis != word:
+                    vs.append(mis)
+            variants[word] = sorted(set(vs) - {word})
+
+    topic_names = sorted(topics)
+    sentences: list[list[str]] = []
+    for _ in range(n_sentences):
+        topic = topic_names[int(rng.integers(len(topic_names)))]
+        words = topics[topic]
+        length = int(rng.integers(lo, hi + 1))
+        sent: list[str] = []
+        for _ in range(length):
+            base = words[int(rng.integers(len(words)))]
+            token = base
+            roll = rng.random()
+            if roll < misspelling_rate and variants[base]:
+                token = variants[base][int(rng.integers(len(variants[base])))]
+            elif roll < misspelling_rate + plural_rate:
+                token = pluralize(base)
+            sent.append(token)
+        sentences.append(sent)
+
+    return SemanticCorpus(sentences=sentences, topics=topics, variants=variants)

@@ -1,0 +1,82 @@
+"""Deterministic hashing embedder.
+
+A training-free stand-in for a string embedding model: character n-grams
+are hashed into a fixed random-projection table and averaged.  Properties:
+
+* deterministic (same string → same vector, across processes),
+* subword-based, so misspellings land *near* the original string — a weak,
+  untrained version of the FastText property the paper relies on,
+* O(len(s)) per item, so benchmark figures that only need *a* model (and
+  count model calls) are not dominated by model compute.
+
+For semantically meaningful similarity (synonyms), use the trainable
+:class:`~repro.embedding.fasttext.FastTextModel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import get_config
+from .base import EmbeddingModel
+
+
+def char_ngrams(token: str, n_min: int, n_max: int) -> list[str]:
+    """Character n-grams of ``<token>`` with boundary markers, plus the word.
+
+    Matches FastText's subword scheme: the token is wrapped in ``< >`` and
+    n-grams of length ``n_min..n_max`` are extracted; the full wrapped token
+    is always included so exact matches dominate.
+    """
+    wrapped = f"<{token}>"
+    grams = [wrapped]
+    for n in range(n_min, n_max + 1):
+        if n >= len(wrapped):
+            continue
+        grams.extend(wrapped[i : i + n] for i in range(len(wrapped) - n + 1))
+    return grams
+
+
+def hash_ngram(gram: str, n_buckets: int) -> int:
+    """FNV-1a hash of an n-gram into ``[0, n_buckets)`` (deterministic)."""
+    h = 0x811C9DC5
+    for byte in gram.encode("utf-8"):
+        h ^= byte
+        h = (h * 0x01000193) % (1 << 32)
+    return h % n_buckets
+
+
+class HashingEmbedder(EmbeddingModel):
+    """Training-free subword hashing embedder."""
+
+    def __init__(
+        self,
+        dim: int = 64,
+        *,
+        n_buckets: int = 1 << 15,
+        n_min: int = 3,
+        n_max: int = 5,
+        seed: int | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(dim, **kwargs)
+        if n_buckets <= 0:
+            raise ValueError(f"n_buckets must be positive, got {n_buckets}")
+        if not 1 <= n_min <= n_max:
+            raise ValueError(f"invalid n-gram range [{n_min}, {n_max}]")
+        self.n_buckets = int(n_buckets)
+        self.n_min = int(n_min)
+        self.n_max = int(n_max)
+        seed = get_config().stream_seed("hashing-embedder") if seed is None else seed
+        rng = np.random.default_rng(seed)
+        # Fixed random projection table: bucket id -> dense vector.
+        self._table = rng.standard_normal((self.n_buckets, dim)).astype(np.float32)
+
+    def _embed_batch(self, items: list) -> np.ndarray:
+        out = np.zeros((len(items), self.dim), dtype=np.float32)
+        for row, item in enumerate(items):
+            token = str(item).lower()
+            grams = char_ngrams(token, self.n_min, self.n_max)
+            bucket_ids = [hash_ngram(g, self.n_buckets) for g in grams]
+            out[row] = self._table[bucket_ids].mean(axis=0)
+        return out

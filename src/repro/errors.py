@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without swallowing unrelated exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an operation references a missing column."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value or column has an incompatible data type for the operation."""
+
+
+class ExpressionError(ReproError):
+    """An expression tree is malformed or cannot be evaluated."""
+
+
+class PlanError(ReproError):
+    """A logical or physical query plan is invalid."""
+
+
+class OptimizerError(PlanError):
+    """The optimizer could not produce a valid rewritten plan."""
+
+
+class EmbeddingError(ReproError):
+    """An embedding model failed to encode or decode data."""
+
+
+class ModelNotFittedError(EmbeddingError):
+    """A trainable embedding model was used before being trained."""
+
+
+class VocabularyError(EmbeddingError):
+    """A token cannot be resolved by the model and no fallback exists."""
+
+
+class IndexError_(ReproError):
+    """A vector index is misconfigured or used before being built.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class IndexNotBuiltError(IndexError_):
+    """Probe was attempted on an index with no inserted vectors."""
+
+
+class JoinError(ReproError):
+    """An E-join operator received invalid inputs or configuration."""
+
+
+class DimensionalityError(JoinError):
+    """Vector operands have mismatched dimensionality."""
+
+
+class BufferBudgetError(JoinError):
+    """A tensor-join buffer budget is too small for any valid mini-batch."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload generator received invalid parameters."""

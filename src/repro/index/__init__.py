@@ -1,0 +1,36 @@
+"""Vector index substrate: flat exact index and from-scratch HNSW."""
+
+from .base import IndexStats, SearchResult, VectorIndex
+from .filtering import (
+    bitmap_from_indices,
+    bitmap_from_predicate,
+    bitmap_selectivity,
+    combine_and,
+)
+from .flat import FlatIndex
+from .ivf import IVFFlatIndex, kmeans
+from .hnsw import (
+    HNSWIndex,
+    PAPER_CONFIG_HI,
+    PAPER_CONFIG_LO,
+    SCALED_CONFIG_HI,
+    SCALED_CONFIG_LO,
+)
+
+__all__ = [
+    "FlatIndex",
+    "HNSWIndex",
+    "IVFFlatIndex",
+    "kmeans",
+    "IndexStats",
+    "PAPER_CONFIG_HI",
+    "PAPER_CONFIG_LO",
+    "SCALED_CONFIG_HI",
+    "SCALED_CONFIG_LO",
+    "SearchResult",
+    "VectorIndex",
+    "bitmap_from_indices",
+    "bitmap_from_predicate",
+    "bitmap_selectivity",
+    "combine_and",
+]

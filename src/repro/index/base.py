@@ -1,0 +1,120 @@
+"""Vector index interface.
+
+Indexes store unit-normalized vectors and answer cosine top-k queries,
+optionally under a relational **pre-filter** bitmap: the result set excludes
+disallowed ids on the fly while the traversal cost is still paid (paper
+Section IV-B, mirroring Milvus' bitmap pre-filtering).
+
+Every index maintains probe counters so the access-path cost model
+(``I_probe`` in the E-Index Join Cost equation) can be calibrated from
+observed behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DimensionalityError, IndexNotBuiltError
+from ..vector.norms import normalize_rows
+
+
+@dataclass
+class IndexStats:
+    """Build and probe counters."""
+
+    n_inserted: int = 0
+    build_seconds: float = 0.0
+    n_probes: int = 0
+    distance_computations: int = 0
+    hops: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Top-k result of one probe: parallel id/score arrays, best first."""
+
+    ids: np.ndarray
+    scores: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class VectorIndex(abc.ABC):
+    """Base class for cosine-similarity vector indexes."""
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise DimensionalityError(f"dim must be positive, got {dim}")
+        self.dim = int(dim)
+        self.stats = IndexStats()
+        self._vectors = np.empty((0, dim), dtype=np.float32)
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """Stored (unit-normalized) vectors."""
+        return self._vectors
+
+    def add(self, vectors: np.ndarray) -> None:
+        """Insert a batch of vectors (normalized on ingest)."""
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise DimensionalityError(
+                f"expected (n, {self.dim}) vectors, got shape {vectors.shape}"
+            )
+        normalized = normalize_rows(vectors)
+        base = len(self._vectors)
+        self._vectors = (
+            normalized
+            if base == 0
+            else np.vstack([self._vectors, normalized])
+        )
+        self._insert(normalized, base)
+        self.stats.n_inserted += len(vectors)
+
+    @abc.abstractmethod
+    def _insert(self, normalized: np.ndarray, base_id: int) -> None:
+        """Index-structure-specific insertion of pre-normalized rows."""
+
+    @abc.abstractmethod
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        allowed: np.ndarray | None = None,
+    ) -> SearchResult:
+        """Top-k most similar ids for one query vector.
+
+        ``allowed`` is an optional boolean bitmap over stored ids: the
+        relational pre-filter.  Ids with ``allowed[id] == False`` never
+        appear in results.
+        """
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        allowed: np.ndarray | None = None,
+    ) -> list[SearchResult]:
+        """Probe many queries (the paper's join-as-batched-search)."""
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise DimensionalityError(
+                f"expected (n, {self.dim}) queries, got shape {queries.shape}"
+            )
+        return [self.search(q, k, allowed=allowed) for q in queries]
+
+    def _require_built(self) -> None:
+        if len(self._vectors) == 0:
+            raise IndexNotBuiltError(
+                f"{type(self).__name__} has no vectors; call add() first"
+            )

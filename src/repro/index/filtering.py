@@ -1,0 +1,60 @@
+"""Relational pre-filtering helpers for vector indexes.
+
+Analytical queries are selective on relational attributes (paper Sections
+IV-B, VI-E).  A vector index cannot evaluate relational predicates itself;
+instead the engine evaluates them against the base table and hands the
+index a boolean **bitmap** over stored ids — the same mechanism Milvus uses
+for pre-filtering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import IndexError_
+from ..relational.expressions import Expression, validate_boolean
+from ..relational.table import Table
+
+
+def bitmap_from_predicate(table: Table, predicate: Expression) -> np.ndarray:
+    """Evaluate a relational predicate into an id-aligned bitmap.
+
+    Row ``i`` of the table must correspond to stored vector id ``i`` — the
+    convention all E-join operators in :mod:`repro.core` maintain.
+    """
+    return validate_boolean(predicate, table)
+
+
+def bitmap_from_indices(n: int, indices: np.ndarray) -> np.ndarray:
+    """Bitmap with ``True`` exactly at ``indices``."""
+    if n < 0:
+        raise IndexError_(f"bitmap size must be non-negative, got {n}")
+    bitmap = np.zeros(n, dtype=bool)
+    indices = np.asarray(indices, dtype=np.int64)
+    if len(indices) and (indices.min() < 0 or indices.max() >= n):
+        raise IndexError_(f"indices out of range for bitmap of size {n}")
+    bitmap[indices] = True
+    return bitmap
+
+
+def combine_and(*bitmaps: np.ndarray) -> np.ndarray:
+    """Conjunction of several bitmaps."""
+    if not bitmaps:
+        raise IndexError_("combine_and requires at least one bitmap")
+    out = np.asarray(bitmaps[0], dtype=bool).copy()
+    for bm in bitmaps[1:]:
+        bm = np.asarray(bm, dtype=bool)
+        if bm.shape != out.shape:
+            raise IndexError_(
+                f"bitmap shape mismatch: {bm.shape} vs {out.shape}"
+            )
+        out &= bm
+    return out
+
+
+def bitmap_selectivity(bitmap: np.ndarray) -> float:
+    """Fraction of allowed ids (0.0 for empty bitmaps)."""
+    bitmap = np.asarray(bitmap, dtype=bool)
+    if bitmap.size == 0:
+        return 0.0
+    return float(bitmap.mean())

@@ -1,0 +1,42 @@
+"""Flat (exhaustive) exact index: the correctness oracle for HNSW."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..vector.norms import normalize_vector
+from ..vector.topk import top_k_indices
+from .base import SearchResult, VectorIndex
+
+
+class FlatIndex(VectorIndex):
+    """Brute-force exact cosine index.
+
+    Equivalent to a scan: every probe computes all ``n`` similarities.  Used
+    as the recall reference for HNSW and for small inputs where graph
+    traversal cannot pay off.
+    """
+
+    def _insert(self, normalized: np.ndarray, base_id: int) -> None:
+        # Vectors are already appended by VectorIndex.add; nothing to build.
+        return
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        allowed: np.ndarray | None = None,
+    ) -> SearchResult:
+        self._require_built()
+        query = normalize_vector(np.asarray(query, dtype=np.float32))
+        sims = self._vectors @ query
+        self.stats.n_probes += 1
+        self.stats.distance_computations += len(sims)
+        if allowed is not None:
+            sims = np.where(np.asarray(allowed, dtype=bool), sims, -np.inf)
+        ids = top_k_indices(sims, k)
+        # Drop fully-filtered placeholders.
+        keep = sims[ids] > -np.inf
+        ids = ids[keep]
+        return SearchResult(ids=ids, scores=sims[ids].astype(np.float32))

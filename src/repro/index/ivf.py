@@ -1,0 +1,149 @@
+"""IVF-Flat (inverted file) index, from scratch.
+
+The second index family vector databases ship alongside HNSW (Milvus's
+IVF_FLAT): vectors are partitioned into ``nlist`` clusters via k-means on
+ingest; a probe scans only the ``nprobe`` closest clusters exhaustively.
+Coarser than HNSW but cheap to build — it fills out the access-path design
+space the paper's Section VI-E sweeps (build cost vs probe cost vs recall).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..config import get_config
+from ..errors import IndexError_
+from ..vector.norms import normalize_rows, normalize_vector
+from ..vector.topk import top_k_indices
+from .base import SearchResult, VectorIndex
+
+
+def kmeans(
+    data: np.ndarray,
+    n_clusters: int,
+    *,
+    n_iters: int = 10,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Spherical k-means over unit vectors; returns unit centroids.
+
+    Similarity-based assignment (argmax dot) with mean-and-renormalize
+    updates; empty clusters are reseeded from random points.
+    """
+    if n_clusters < 1:
+        raise IndexError_(f"n_clusters must be >= 1, got {n_clusters}")
+    rng = np.random.default_rng() if rng is None else rng
+    n = data.shape[0]
+    n_clusters = min(n_clusters, n)
+    centroids = data[rng.choice(n, size=n_clusters, replace=False)].copy()
+    for _ in range(n_iters):
+        assign = np.argmax(data @ centroids.T, axis=1)
+        for c in range(n_clusters):
+            members = data[assign == c]
+            if len(members) == 0:
+                centroids[c] = data[int(rng.integers(n))]
+            else:
+                centroids[c] = members.mean(axis=0)
+        centroids = normalize_rows(centroids)
+    return centroids
+
+
+class IVFFlatIndex(VectorIndex):
+    """Inverted-file index with exhaustive in-cluster search."""
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        nlist: int = 64,
+        nprobe: int = 8,
+        kmeans_iters: int = 10,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(dim)
+        if nlist < 1:
+            raise IndexError_(f"nlist must be >= 1, got {nlist}")
+        if nprobe < 1:
+            raise IndexError_(f"nprobe must be >= 1, got {nprobe}")
+        self.nlist = int(nlist)
+        self.nprobe = int(nprobe)
+        self.kmeans_iters = int(kmeans_iters)
+        seed = get_config().stream_seed("ivf") if seed is None else seed
+        self._rng = np.random.default_rng(seed)
+        self._centroids: np.ndarray | None = None
+        self._lists: list[np.ndarray] = []
+
+    def _insert(self, normalized: np.ndarray, base_id: int) -> None:
+        # IVF retrains its coarse quantizer over the full collection on
+        # every add (fine for the batch-build usage in this repo).
+        start = time.perf_counter()
+        data = self._vectors  # includes the new rows (appended by add())
+        self._centroids = kmeans(
+            data,
+            self.nlist,
+            n_iters=self.kmeans_iters,
+            rng=self._rng,
+        )
+        assign = np.argmax(data @ self._centroids.T, axis=1)
+        self._lists = [
+            np.nonzero(assign == c)[0].astype(np.int64)
+            for c in range(self._centroids.shape[0])
+        ]
+        self.stats.build_seconds += time.perf_counter() - start
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        allowed: np.ndarray | None = None,
+    ) -> SearchResult:
+        self._require_built()
+        assert self._centroids is not None
+        query = normalize_vector(np.asarray(query, dtype=np.float32))
+        self.stats.n_probes += 1
+
+        centroid_sims = self._centroids @ query
+        self.stats.distance_computations += len(centroid_sims)
+        probe_lists = top_k_indices(centroid_sims, self.nprobe)
+
+        candidates = np.concatenate(
+            [self._lists[int(c)] for c in probe_lists]
+        ) if len(probe_lists) else np.empty(0, dtype=np.int64)
+        if len(candidates) == 0:
+            return SearchResult(
+                ids=np.empty(0, dtype=np.int64),
+                scores=np.empty(0, dtype=np.float32),
+            )
+        sims = self._vectors[candidates] @ query
+        self.stats.distance_computations += len(candidates)
+        self.stats.hops += len(probe_lists)
+        if allowed is not None:
+            allowed = np.asarray(allowed, dtype=bool)
+            if allowed.shape != (len(self._vectors),):
+                raise IndexError_(
+                    f"pre-filter bitmap shape {allowed.shape} != "
+                    f"({len(self._vectors)},)"
+                )
+            mask = allowed[candidates]
+            candidates, sims = candidates[mask], sims[mask]
+        if len(candidates) == 0:
+            return SearchResult(
+                ids=np.empty(0, dtype=np.int64),
+                scores=np.empty(0, dtype=np.float32),
+            )
+        best = top_k_indices(sims, k)
+        return SearchResult(
+            ids=candidates[best], scores=sims[best].astype(np.float32)
+        )
+
+    def list_sizes(self) -> list[int]:
+        """Inverted-list occupancy (diagnostics)."""
+        return [len(lst) for lst in self._lists]
+
+    def describe(self) -> str:
+        return (
+            f"IVFFlat(n={len(self)}, nlist={self.nlist}, nprobe={self.nprobe})"
+        )

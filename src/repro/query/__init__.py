@@ -1,0 +1,5 @@
+"""Declarative query layer."""
+
+from .builder import Engine, QueryBuilder
+
+__all__ = ["Engine", "QueryBuilder"]

@@ -1,0 +1,206 @@
+"""Declarative query builder: the user-facing API of Figure 4.
+
+The builder assembles a logical plan from fluent calls; the engine
+optimizes it with the extended-algebra rules and executes it physically.
+The user specifies *what* (model name, similarity threshold, relational
+predicates) — never *how* (prefetching, loop order, scan vs probe), which
+is exactly the declarative contract the paper argues for.
+
+Example::
+
+    engine = Engine(catalog)
+    engine.models.register("words", model)
+    out = (
+        engine.query("photos")
+        .where(Col("taken") > date(2023, 12, 2))
+        .ejoin("examples", left_on="caption", right_on="text",
+               model="words", threshold=0.9)
+        .select(["caption", "text", "similarity"])
+        .execute()
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra.logical import (
+    EJoinNode,
+    EmbedNode,
+    EquiJoinNode,
+    ESelectNode,
+    FilterNode,
+    LimitNode,
+    LogicalNode,
+    ProjectNode,
+    ScanNode,
+)
+from ..algebra.optimizer import Optimizer
+from ..algebra.physical_planner import ExecutionContext, ExecutionReport, execute
+from ..core.conditions import ThresholdCondition, TopKCondition
+from ..core.cost_model import CostParams
+from ..embedding.registry import ModelRegistry
+from ..errors import PlanError
+from ..index.base import VectorIndex
+from ..relational.catalog import Catalog
+from ..relational.expressions import Expression
+from ..relational.table import Table
+
+
+@dataclass
+class Engine:
+    """Query engine: catalog + model registry + index registry + optimizer."""
+
+    catalog: Catalog
+    models: ModelRegistry = field(default_factory=ModelRegistry)
+    cost_params: CostParams = field(default_factory=CostParams)
+
+    def __post_init__(self) -> None:
+        self._indexes: dict[tuple[str, str], VectorIndex] = {}
+
+    def register_index(self, table: str, column: str, index: VectorIndex) -> None:
+        """Attach a built vector index to ``table.column``."""
+        self.catalog.get(table)  # validate the table exists
+        self._indexes[(table, column)] = index
+
+    def query(self, table_name: str) -> "QueryBuilder":
+        self.catalog.get(table_name)  # validate early
+        return QueryBuilder(self, ScanNode(table_name))
+
+    def context(self) -> ExecutionContext:
+        ctx = ExecutionContext(
+            self.catalog, models=self.models, cost_params=self.cost_params
+        )
+        for key, index in self._indexes.items():
+            ctx.indexes[key] = index
+        return ctx
+
+
+@dataclass
+class QueryBuilder:
+    """Immutable-style fluent builder over a logical plan."""
+
+    engine: Engine
+    plan: LogicalNode
+    _last_report: ExecutionReport | None = None
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+    def where(self, predicate: Expression) -> "QueryBuilder":
+        return QueryBuilder(self.engine, FilterNode(self.plan, predicate))
+
+    def select(self, names: list[str]) -> "QueryBuilder":
+        return QueryBuilder(self.engine, ProjectNode(self.plan, tuple(names)))
+
+    def limit(self, n: int) -> "QueryBuilder":
+        return QueryBuilder(self.engine, LimitNode(self.plan, n))
+
+    def embed(self, column: str, model: str, *, output: str = "") -> "QueryBuilder":
+        return QueryBuilder(
+            self.engine, EmbedNode(self.plan, column, model, output)
+        )
+
+    def esimilar(
+        self,
+        column: str,
+        query,
+        *,
+        model: str,
+        threshold: float | None = None,
+        top_k: int | None = None,
+        min_similarity: float | None = None,
+        score_column: str = "similarity",
+    ) -> "QueryBuilder":
+        """Context-enhanced selection: keep rows whose ``column`` is
+        similar to ``query`` (Section III-C's E-selection)."""
+        if (threshold is None) == (top_k is None):
+            raise PlanError("specify exactly one of threshold= or top_k=")
+        if threshold is not None:
+            condition = ThresholdCondition(threshold)
+        else:
+            condition = TopKCondition(top_k, min_similarity=min_similarity)
+        node = ESelectNode(
+            self.plan, column, query, model, condition, score_column
+        )
+        return QueryBuilder(self.engine, node)
+
+    def join(self, other: "str | QueryBuilder", *, left_on: str, right_on: str) -> "QueryBuilder":
+        """Classic relational equi-join."""
+        right = self._as_plan(other)
+        return QueryBuilder(
+            self.engine, EquiJoinNode(self.plan, right, left_on, right_on)
+        )
+
+    def ejoin(
+        self,
+        other: "str | QueryBuilder",
+        *,
+        left_on: str,
+        right_on: str,
+        model: str,
+        threshold: float | None = None,
+        top_k: int | None = None,
+        min_similarity: float | None = None,
+        strategy: str | None = None,
+    ) -> "QueryBuilder":
+        """Context-enhanced similarity join.
+
+        Exactly one of ``threshold`` (range condition) or ``top_k`` must be
+        given; ``min_similarity`` optionally refines ``top_k``.
+        """
+        if (threshold is None) == (top_k is None):
+            raise PlanError("specify exactly one of threshold= or top_k=")
+        if threshold is not None:
+            condition = ThresholdCondition(threshold)
+        else:
+            condition = TopKCondition(top_k, min_similarity=min_similarity)
+        right = self._as_plan(other)
+        node = EJoinNode(
+            self.plan,
+            right,
+            left_on,
+            right_on,
+            model,
+            condition,
+            strategy_hint=strategy,
+        )
+        return QueryBuilder(self.engine, node)
+
+    def _as_plan(self, other: "str | QueryBuilder") -> LogicalNode:
+        if isinstance(other, QueryBuilder):
+            return other.plan
+        self.engine.catalog.get(other)
+        return ScanNode(other)
+
+    # ------------------------------------------------------------------
+    # Optimization & execution
+    # ------------------------------------------------------------------
+    def optimized_plan(self) -> LogicalNode:
+        optimizer = Optimizer(catalog=self.engine.catalog)
+        return optimizer.optimize(self.plan)
+
+    def explain(self, *, optimize: bool = True) -> str:
+        """Textual plan; shows the rewrite trace when optimizing."""
+        if not optimize:
+            return self.plan.explain()
+        optimizer = Optimizer(catalog=self.engine.catalog)
+        optimized = optimizer.optimize(self.plan)
+        lines = [optimized.explain()]
+        if optimizer.trace.steps:
+            lines.append("-- rewrites applied:")
+            lines.extend(f"--   {s}" for s in optimizer.trace.steps)
+        return "\n".join(lines)
+
+    def execute(self, *, optimize: bool = True) -> Table:
+        """Optimize (by default) and run the query to a materialized table."""
+        plan = self.optimized_plan() if optimize else self.plan
+        report = ExecutionReport()
+        result = execute(plan, self.engine.context(), report=report)
+        self._last_report = report
+        return result
+
+    @property
+    def last_report(self) -> ExecutionReport | None:
+        """Physical-execution report of the most recent :meth:`execute`."""
+        return self._last_report

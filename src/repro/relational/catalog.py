@@ -1,0 +1,101 @@
+"""Table catalog: named registry of base tables with basic statistics.
+
+The optimizer reads cardinalities and per-column statistics from here when
+costing plans (Section IV's cost model parametrization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SchemaError
+from .schema import DataType
+from .table import Table
+
+
+@dataclass
+class ColumnStats:
+    """Lightweight per-column statistics for costing and selectivity."""
+
+    n_distinct: int
+    min_value: float | None = None
+    max_value: float | None = None
+
+    @classmethod
+    def compute(cls, table: Table, name: str) -> "ColumnStats":
+        col = table.column(name)
+        if col.dtype is DataType.TENSOR:
+            return cls(n_distinct=len(col))
+        data = col.data
+        if data.dtype == object:
+            return cls(n_distinct=len(set(data.tolist())))
+        if len(data) == 0:
+            return cls(n_distinct=0)
+        return cls(
+            n_distinct=int(len(np.unique(data))),
+            min_value=float(np.min(data)),
+            max_value=float(np.max(data)),
+        )
+
+    def estimate_range_selectivity(self, lo: float | None, hi: float | None) -> float:
+        """Uniformity-assumption selectivity of ``lo <= x <= hi``."""
+        if self.min_value is None or self.max_value is None:
+            return 1.0
+        span = self.max_value - self.min_value
+        if span <= 0:
+            return 1.0
+        lo = self.min_value if lo is None else max(lo, self.min_value)
+        hi = self.max_value if hi is None else min(hi, self.max_value)
+        if hi < lo:
+            return 0.0
+        return float((hi - lo) / span)
+
+
+@dataclass
+class CatalogEntry:
+    table: Table
+    stats: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column_stats(self, name: str) -> ColumnStats:
+        if name not in self.stats:
+            self.stats[name] = ColumnStats.compute(self.table, name)
+        return self.stats[name]
+
+
+class Catalog:
+    """Named registry of base tables."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, CatalogEntry] = {}
+
+    def register(self, name: str, table: Table, *, replace: bool = False) -> None:
+        if name in self._entries and not replace:
+            raise SchemaError(f"table {name!r} already registered")
+        self._entries[name] = CatalogEntry(table)
+
+    def drop(self, name: str) -> None:
+        if name not in self._entries:
+            raise SchemaError(f"table {name!r} is not registered")
+        del self._entries[name]
+
+    def get(self, name: str) -> Table:
+        if name not in self._entries:
+            raise SchemaError(
+                f"unknown table {name!r}; have {sorted(self._entries)}"
+            )
+        return self._entries[name].table
+
+    def entry(self, name: str) -> CatalogEntry:
+        self.get(name)
+        return self._entries[name]
+
+    def cardinality(self, name: str) -> int:
+        return self.get(name).num_rows
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries

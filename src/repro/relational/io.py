@@ -1,0 +1,96 @@
+"""Table persistence: save/load columnar tables to a single ``.npz`` file.
+
+A minimal storage layer so catalogs (and the embeddings materialized by the
+prefetch optimization) survive process restarts — embedding once and
+reusing across sessions is the cross-query extension of the paper's
+embed-once logical optimization.
+
+Format: one NumPy ``.npz`` archive holding each column's physical array
+under its column name, plus a JSON schema under the reserved key
+``__schema__``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import SchemaError
+from .schema import DataType, Field, Schema
+from .table import Table
+
+_SCHEMA_KEY = "__schema__"
+
+
+def schema_to_json(schema: Schema) -> str:
+    """Serialize a schema to a JSON string."""
+    fields = [
+        {
+            "name": f.name,
+            "dtype": f.dtype.value,
+            "dim": f.dim,
+            "nullable": f.nullable,
+        }
+        for f in schema
+    ]
+    return json.dumps({"fields": fields})
+
+
+def schema_from_json(payload: str) -> Schema:
+    """Inverse of :func:`schema_to_json`."""
+    try:
+        data = json.loads(payload)
+        fields = tuple(
+            Field(
+                f["name"],
+                DataType(f["dtype"]),
+                dim=int(f.get("dim", 0)),
+                nullable=bool(f.get("nullable", False)),
+            )
+            for f in data["fields"]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"malformed schema payload: {exc}") from exc
+    return Schema(fields)
+
+
+def save_table(table: Table, path: str | Path) -> Path:
+    """Write a table to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    arrays: dict[str, np.ndarray] = {}
+    for name in table.schema.names:
+        if name == _SCHEMA_KEY:
+            raise SchemaError(f"column name {name!r} is reserved")
+        data = table.array(name)
+        if data.dtype == object:
+            # Object (string/context) columns round-trip via UTF-8 arrays.
+            data = np.asarray([str(v) for v in data], dtype=np.str_)
+        arrays[name] = data
+    arrays[_SCHEMA_KEY] = np.asarray(schema_to_json(table.schema))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_table(path: str | Path) -> Table:
+    """Read a table previously written by :func:`save_table`."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        if _SCHEMA_KEY not in archive:
+            raise SchemaError(f"{path} is not a repro table archive")
+        schema = schema_from_json(str(archive[_SCHEMA_KEY]))
+        arrays: dict[str, np.ndarray] = {}
+        for f in schema:
+            data = archive[f.name]
+            if f.dtype in (DataType.STRING, DataType.CONTEXT):
+                out = np.empty(len(data), dtype=object)
+                out[:] = [str(v) for v in data]
+                data = out
+            arrays[f.name] = data
+    return Table.from_arrays(schema, arrays)

@@ -1,0 +1,27 @@
+"""Physical relational operators."""
+
+from .aggregate import AggSpec, Aggregate
+from .base import DEFAULT_BATCH_SIZE, OperatorStats, PhysicalOperator
+from .ejoin_op import EJoinOperator
+from .filter import Filter
+from .hash_join import HashJoin
+from .nested_loop_join import NestedLoopJoin
+from .project import Project
+from .scan import Scan
+from .sort import Limit, Sort
+
+__all__ = [
+    "AggSpec",
+    "Aggregate",
+    "DEFAULT_BATCH_SIZE",
+    "EJoinOperator",
+    "Filter",
+    "HashJoin",
+    "Limit",
+    "NestedLoopJoin",
+    "OperatorStats",
+    "PhysicalOperator",
+    "Project",
+    "Scan",
+    "Sort",
+]

@@ -1,0 +1,105 @@
+"""Hash aggregation operator."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import ExpressionError, SchemaError
+from ...relational.column import Column
+from ...relational.schema import DataType, Field, Schema
+from ...relational.table import Table
+from .base import PhysicalOperator
+
+_AGG_FUNCS = {
+    "count": lambda v: len(v),
+    "sum": lambda v: float(np.sum(v)),
+    "min": lambda v: float(np.min(v)),
+    "max": lambda v: float(np.max(v)),
+    "mean": lambda v: float(np.mean(v)),
+}
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate: ``func(column) AS alias``."""
+
+    func: str
+    column: str | None  # None only valid for count(*)
+    alias: str
+
+    def __post_init__(self) -> None:
+        if self.func not in _AGG_FUNCS:
+            raise ExpressionError(
+                f"unknown aggregate {self.func!r}; have {sorted(_AGG_FUNCS)}"
+            )
+        if self.column is None and self.func != "count":
+            raise ExpressionError(f"{self.func} requires a column")
+
+
+class Aggregate(PhysicalOperator):
+    """Group-by hash aggregation (full materialization)."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        group_by: list[str],
+        aggs: list[AggSpec],
+    ) -> None:
+        super().__init__()
+        if not aggs:
+            raise SchemaError("at least one aggregate is required")
+        self._child = child
+        self._group_by = list(group_by)
+        self._aggs = list(aggs)
+        in_schema = child.output_schema
+        group_fields = tuple(in_schema.field(g) for g in self._group_by)
+        agg_fields = tuple(
+            Field(a.alias, DataType.INT64 if a.func == "count" else DataType.FLOAT64)
+            for a in self._aggs
+        )
+        self._schema = Schema(group_fields + agg_fields)
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def batches(self) -> Iterator[Table]:
+        table = self._child.execute()
+        self.stats.rows_in += table.num_rows
+        groups: dict[tuple, list[int]] = {}
+        if self._group_by:
+            key_arrays = [table.array(g) for g in self._group_by]
+            for i in range(table.num_rows):
+                key = tuple(arr[i] for arr in key_arrays)
+                groups.setdefault(key, []).append(i)
+        else:
+            groups[()] = list(range(table.num_rows))
+
+        out_rows: list[dict] = []
+        for key, idx in groups.items():
+            row: dict = dict(zip(self._group_by, key))
+            indices = np.asarray(idx)
+            for a in self._aggs:
+                if a.func == "count":
+                    row[a.alias] = len(indices)
+                else:
+                    values = table.array(a.column)[indices]
+                    row[a.alias] = _AGG_FUNCS[a.func](values)
+            out_rows.append(row)
+
+        if not out_rows:
+            return
+        out = Table.from_dicts(self._schema, out_rows)
+        self.stats.rows_out += out.num_rows
+        self.stats.batches += 1
+        yield out
+
+    def describe(self) -> str:
+        aggs = ", ".join(f"{a.func}({a.column or '*'})" for a in self._aggs)
+        return f"Aggregate(by={self._group_by}, aggs=[{aggs}])"
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self._child]

@@ -1,0 +1,66 @@
+"""Physical operator interface.
+
+Operators follow a batch-at-a-time (vectorized) iterator model: ``open()``
+resets state, ``batches()`` yields :class:`~repro.relational.table.Table`
+chunks, and ``execute()`` materialises the full result.  Batch-at-a-time is
+the execution style of vectorized engines the paper builds on (VectorWise
+lineage, ref [39]) and keeps per-batch NumPy kernels amortized.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from ...relational.schema import Schema
+from ...relational.table import Table
+
+#: Default number of rows per vectorized batch.
+DEFAULT_BATCH_SIZE = 4096
+
+
+@dataclass
+class OperatorStats:
+    """Execution counters every operator maintains."""
+
+    rows_in: int = 0
+    rows_out: int = 0
+    batches: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class PhysicalOperator:
+    """Base class for physical operators."""
+
+    def __init__(self) -> None:
+        self.stats = OperatorStats()
+
+    @property
+    def output_schema(self) -> Schema:
+        raise NotImplementedError
+
+    def batches(self) -> Iterator[Table]:
+        raise NotImplementedError
+
+    def execute(self) -> Table:
+        """Materialise the full operator output as one table."""
+        out: Table | None = None
+        for batch in self.batches():
+            out = batch if out is None else out.concat_rows(batch)
+        if out is None:
+            return Table.empty(self.output_schema)
+        return out
+
+    def explain(self, depth: int = 0) -> str:
+        """Indented textual representation of the operator subtree."""
+        pad = "  " * depth
+        lines = [pad + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(depth + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def children(self) -> list["PhysicalOperator"]:
+        return []

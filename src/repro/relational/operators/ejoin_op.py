@@ -1,0 +1,112 @@
+"""E-join as a batch-at-a-time physical operator.
+
+Integrates the context-enhanced join into the vectorized operator pipeline:
+the right (inner) relation is materialized and embedded once, then left
+batches stream through, each joined with one blocked-GEMM call and
+materialized lazily.  This is the operator a pipelined engine would place
+in a plan tree, as opposed to the materialize-then-join shortcut the
+physical planner uses for whole-query execution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from ...core.conditions import JoinCondition, validate_condition
+from ...core.tensor_join import tensor_join
+from ...embedding.cache import EmbeddingStore
+from ...embedding.base import EmbeddingModel
+from ...errors import SchemaError
+from ...relational.column import Column
+from ...relational.schema import DataType, Field, Schema
+from ...relational.table import Table
+from ...vector.norms import normalize_rows
+from .base import PhysicalOperator
+
+
+class EJoinOperator(PhysicalOperator):
+    """Streaming context-enhanced join over two child operators."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_column: str,
+        right_column: str,
+        model: EmbeddingModel,
+        condition: JoinCondition,
+        *,
+        prefixes: tuple[str, str] = ("l_", "r_"),
+        score_column: str = "similarity",
+        batch_right: int | None = None,
+    ) -> None:
+        super().__init__()
+        validate_condition(condition)
+        left.output_schema.field(left_column)
+        right.output_schema.field(right_column)
+        self._left = left
+        self._right = right
+        self._left_column = left_column
+        self._right_column = right_column
+        self._model = model
+        self._condition = condition
+        self._prefixes = prefixes
+        self._score_column = score_column
+        self._batch_right = batch_right
+        base = left.output_schema.concat(right.output_schema, prefixes=prefixes)
+        if score_column in base:
+            raise SchemaError(
+                f"score column {score_column!r} collides with input columns"
+            )
+        self._schema = base.add(Field(score_column, DataType.FLOAT32))
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def _column_vectors(self, table: Table, name: str, store: EmbeddingStore) -> np.ndarray:
+        field = table.schema.field(name)
+        if field.dtype is DataType.TENSOR:
+            return normalize_rows(table.array(name))
+        return normalize_rows(store.embed_items(table.array(name).tolist()))
+
+    def batches(self) -> Iterator[Table]:
+        store = EmbeddingStore(self._model)
+        inner = self._right.execute()
+        inner_vectors = self._column_vectors(inner, self._right_column, store)
+        self.stats.extra["inner_rows"] = inner.num_rows
+
+        for batch in self._left.batches():
+            self.stats.rows_in += batch.num_rows
+            if batch.num_rows == 0 or inner.num_rows == 0:
+                continue
+            batch_vectors = self._column_vectors(batch, self._left_column, store)
+            result = tensor_join(
+                batch_vectors,
+                inner_vectors,
+                self._condition,
+                batch_right=self._batch_right,
+                assume_normalized=True,
+            )
+            if len(result) == 0:
+                continue
+            out = batch.take(result.left_ids).zip_columns(
+                inner.take(result.right_ids), prefixes=self._prefixes
+            )
+            out = out.with_column(
+                Column(Field(self._score_column, DataType.FLOAT32), result.scores)
+            )
+            self.stats.rows_out += out.num_rows
+            self.stats.batches += 1
+            yield out
+
+    def describe(self) -> str:
+        return (
+            f"EJoinOperator({self._left_column} ~ {self._right_column}, "
+            f"mu={self._model.name}, {self._condition})"
+        )
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self._left, self._right]

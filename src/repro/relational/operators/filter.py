@@ -1,0 +1,40 @@
+"""Selection (filter) operator: sigma_theta."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ...relational.expressions import Expression, validate_boolean
+from ...relational.schema import Schema
+from ...relational.table import Table
+from .base import PhysicalOperator
+
+
+class Filter(PhysicalOperator):
+    """Applies a boolean predicate, keeping satisfying rows."""
+
+    def __init__(self, child: PhysicalOperator, predicate: Expression) -> None:
+        super().__init__()
+        self._child = child
+        self._predicate = predicate
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._child.output_schema
+
+    def batches(self) -> Iterator[Table]:
+        for batch in self._child.batches():
+            self.stats.rows_in += batch.num_rows
+            bitmap = validate_boolean(self._predicate, batch)
+            out = batch.mask(bitmap)
+            if out.num_rows == 0:
+                continue
+            self.stats.rows_out += out.num_rows
+            self.stats.batches += 1
+            yield out
+
+    def describe(self) -> str:
+        return f"Filter({self._predicate!r})"
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self._child]

@@ -1,0 +1,85 @@
+"""Equi-join via hashing.
+
+The paper notes (Section IV-A) that an *equi*-join over tensors could be a
+hash join, but similarity predicates over embeddings need pairwise
+comparisons — the hash join is therefore the relational baseline operator,
+used for exact-key joins in hybrid plans and as a correctness oracle in
+tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from ...errors import TypeMismatchError
+from ...relational.schema import DataType, Schema
+from ...relational.table import Table
+from .base import DEFAULT_BATCH_SIZE, PhysicalOperator
+
+
+class HashJoin(PhysicalOperator):
+    """In-memory hash equi-join (build on right, probe with left)."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_key: str,
+        right_key: str,
+        *,
+        prefixes: tuple[str, str] = ("l_", "r_"),
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__()
+        for side, key in ((left, left_key), (right, right_key)):
+            f = side.output_schema.field(key)
+            if f.dtype is DataType.TENSOR:
+                raise TypeMismatchError(
+                    "hash join over tensor keys is not meaningful; use an "
+                    "E-join (similarity) operator instead"
+                )
+        self._left = left
+        self._right = right
+        self._left_key = left_key
+        self._right_key = right_key
+        self._prefixes = prefixes
+        self._batch_size = batch_size
+        self._schema = left.output_schema.concat(
+            right.output_schema, prefixes=prefixes
+        )
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def batches(self) -> Iterator[Table]:
+        build = self._right.execute()
+        ht: dict[object, list[int]] = {}
+        for i, key in enumerate(build.array(self._right_key)):
+            ht.setdefault(key, []).append(i)
+        self.stats.extra["build_rows"] = build.num_rows
+
+        for batch in self._left.batches():
+            self.stats.rows_in += batch.num_rows
+            left_idx: list[int] = []
+            right_idx: list[int] = []
+            for i, key in enumerate(batch.array(self._left_key)):
+                for j in ht.get(key, ()):
+                    left_idx.append(i)
+                    right_idx.append(j)
+            if not left_idx:
+                continue
+            out = batch.take(np.asarray(left_idx)).zip_columns(
+                build.take(np.asarray(right_idx)), prefixes=self._prefixes
+            )
+            self.stats.rows_out += out.num_rows
+            self.stats.batches += 1
+            yield out
+
+    def describe(self) -> str:
+        return f"HashJoin({self._left_key} == {self._right_key})"
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self._left, self._right]

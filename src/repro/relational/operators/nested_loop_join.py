@@ -1,0 +1,73 @@
+"""Generic theta nested-loop join over relational predicates.
+
+This is the classic relational NLJ the paper's E-NLJ extends: it evaluates
+an arbitrary theta predicate over the cross product, in block-nested form so
+the predicate runs vectorized over (left-batch x right) slabs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+import numpy as np
+
+from ...relational.schema import Schema
+from ...relational.table import Table
+from .base import DEFAULT_BATCH_SIZE, PhysicalOperator
+
+#: A theta predicate: given the materialized pair table, return a bitmap.
+ThetaPredicate = Callable[[Table], np.ndarray]
+
+
+class NestedLoopJoin(PhysicalOperator):
+    """Block nested-loop theta-join."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        theta: ThetaPredicate,
+        *,
+        prefixes: tuple[str, str] = ("l_", "r_"),
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__()
+        self._left = left
+        self._right = right
+        self._theta = theta
+        self._prefixes = prefixes
+        self._batch_size = batch_size
+        self._schema = left.output_schema.concat(
+            right.output_schema, prefixes=prefixes
+        )
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def batches(self) -> Iterator[Table]:
+        inner = self._right.execute()
+        n_inner = inner.num_rows
+        for batch in self._left.batches():
+            self.stats.rows_in += batch.num_rows
+            if batch.num_rows == 0 or n_inner == 0:
+                continue
+            # Materialize the (batch x inner) pair block positionally.
+            left_idx = np.repeat(np.arange(batch.num_rows), n_inner)
+            right_idx = np.tile(np.arange(n_inner), batch.num_rows)
+            pairs = batch.take(left_idx).zip_columns(
+                inner.take(right_idx), prefixes=self._prefixes
+            )
+            bitmap = np.asarray(self._theta(pairs), dtype=bool)
+            out = pairs.mask(bitmap)
+            if out.num_rows == 0:
+                continue
+            self.stats.rows_out += out.num_rows
+            self.stats.batches += 1
+            yield out
+
+    def describe(self) -> str:
+        return "NestedLoopJoin(theta)"
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self._left, self._right]

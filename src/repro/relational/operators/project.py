@@ -1,0 +1,68 @@
+"""Projection operator, including computed columns."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from ...errors import SchemaError
+from ...relational.column import Column
+from ...relational.expressions import Expression
+from ...relational.schema import DataType, Field, Schema
+from ...relational.table import Table
+from .base import PhysicalOperator
+
+
+class Project(PhysicalOperator):
+    """Column selection plus optional computed expressions.
+
+    ``computed`` maps output column names to expressions; computed columns
+    are typed by inspecting their first evaluated batch (FLOAT64 for numeric
+    results, BOOL for bitmaps).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        names: list[str],
+        computed: dict[str, Expression] | None = None,
+    ) -> None:
+        super().__init__()
+        self._child = child
+        self._names = list(names)
+        self._computed = dict(computed or {})
+        overlap = set(self._names) & set(self._computed)
+        if overlap:
+            raise SchemaError(
+                f"computed columns {sorted(overlap)} collide with projected names"
+            )
+        base = child.output_schema.select(self._names)
+        computed_fields = tuple(
+            Field(name, DataType.FLOAT64) for name in self._computed
+        )
+        self._schema = Schema(base.fields + computed_fields)
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def batches(self) -> Iterator[Table]:
+        for batch in self._child.batches():
+            self.stats.rows_in += batch.num_rows
+            out = batch.select(self._names)
+            for name, expr in self._computed.items():
+                values = np.asarray(expr.evaluate(batch), dtype=np.float64)
+                out = out.with_column(
+                    Column(Field(name, DataType.FLOAT64), values)
+                )
+            self.stats.rows_out += out.num_rows
+            self.stats.batches += 1
+            yield out
+
+    def describe(self) -> str:
+        extra = f", computed={list(self._computed)}" if self._computed else ""
+        return f"Project({self._names}{extra})"
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self._child]

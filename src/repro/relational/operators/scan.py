@@ -1,0 +1,40 @@
+"""Table scan operator."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ...relational.schema import Schema
+from ...relational.table import Table
+from .base import DEFAULT_BATCH_SIZE, PhysicalOperator
+
+
+class Scan(PhysicalOperator):
+    """Full sequential scan over an in-memory table.
+
+    The scan is the access path the paper's tensor join builds on: cheap,
+    fully amenable to relational filtering, and exact (Table I).
+    """
+
+    def __init__(self, table: Table, *, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        super().__init__()
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self._table = table
+        self._batch_size = batch_size
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._table.schema
+
+    def batches(self) -> Iterator[Table]:
+        n = self._table.num_rows
+        for start in range(0, n, self._batch_size):
+            batch = self._table.slice(start, start + self._batch_size)
+            self.stats.rows_in += batch.num_rows
+            self.stats.rows_out += batch.num_rows
+            self.stats.batches += 1
+            yield batch
+
+    def describe(self) -> str:
+        return f"Scan(rows={self._table.num_rows}, batch={self._batch_size})"

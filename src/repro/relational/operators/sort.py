@@ -1,0 +1,74 @@
+"""Sort and limit operators."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ...relational.schema import Schema
+from ...relational.table import Table
+from .base import PhysicalOperator
+
+
+class Sort(PhysicalOperator):
+    """Full materializing sort by one column (stable)."""
+
+    def __init__(
+        self, child: PhysicalOperator, key: str, *, descending: bool = False
+    ) -> None:
+        super().__init__()
+        child.output_schema.field(key)  # validate
+        self._child = child
+        self._key = key
+        self._descending = descending
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._child.output_schema
+
+    def batches(self) -> Iterator[Table]:
+        table = self._child.execute()
+        self.stats.rows_in += table.num_rows
+        out = table.sort_by(self._key, descending=self._descending)
+        self.stats.rows_out += out.num_rows
+        self.stats.batches += 1
+        yield out
+
+    def describe(self) -> str:
+        direction = "desc" if self._descending else "asc"
+        return f"Sort({self._key} {direction})"
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self._child]
+
+
+class Limit(PhysicalOperator):
+    """Pass through at most ``n`` rows."""
+
+    def __init__(self, child: PhysicalOperator, n: int) -> None:
+        super().__init__()
+        if n < 0:
+            raise ValueError(f"limit must be non-negative, got {n}")
+        self._child = child
+        self._n = n
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._child.output_schema
+
+    def batches(self) -> Iterator[Table]:
+        remaining = self._n
+        for batch in self._child.batches():
+            self.stats.rows_in += batch.num_rows
+            if remaining <= 0:
+                break
+            out = batch if batch.num_rows <= remaining else batch.slice(0, remaining)
+            remaining -= out.num_rows
+            self.stats.rows_out += out.num_rows
+            self.stats.batches += 1
+            yield out
+
+    def describe(self) -> str:
+        return f"Limit({self._n})"
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self._child]

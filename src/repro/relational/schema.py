@@ -1,0 +1,189 @@
+"""Schema definitions for the relational substrate.
+
+A :class:`Schema` is an ordered collection of :class:`Field` objects.  The
+engine supports the classic atomic types plus two extensions the paper
+requires:
+
+* ``TENSOR`` — fixed-dimensionality embedding vectors.  Following Section IV
+  of the paper, tensors are *atomic* from the DBMS's point of view (1NF is
+  preserved: the engine never decomposes them except inside dedicated vector
+  kernels).
+* ``CONTEXT`` — context-rich payloads (strings, serialized blobs) that are
+  opaque to relational predicates but can be mapped to ``TENSOR`` via an
+  embedding operator ``E_mu``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Logical column types understood by the engine."""
+
+    INT64 = "int64"
+    FLOAT32 = "float32"
+    FLOAT64 = "float64"
+    BOOL = "bool"
+    DATE = "date"       # stored as int64 days-since-epoch
+    STRING = "string"   # context-rich, object-backed
+    TENSOR = "tensor"   # fixed-dim float32 vectors
+    CONTEXT = "context" # opaque context-rich payloads (non-string blobs)
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """Physical NumPy dtype used to store values of this type."""
+        mapping = {
+            DataType.INT64: np.dtype(np.int64),
+            DataType.FLOAT32: np.dtype(np.float32),
+            DataType.FLOAT64: np.dtype(np.float64),
+            DataType.BOOL: np.dtype(np.bool_),
+            DataType.DATE: np.dtype(np.int64),
+            DataType.STRING: np.dtype(object),
+            DataType.TENSOR: np.dtype(np.float32),
+            DataType.CONTEXT: np.dtype(object),
+        }
+        return mapping[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (
+            DataType.INT64,
+            DataType.FLOAT32,
+            DataType.FLOAT64,
+            DataType.DATE,
+        )
+
+    @property
+    def is_context_rich(self) -> bool:
+        """True for types opaque to relational predicates (need a model)."""
+        return self in (DataType.STRING, DataType.CONTEXT)
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named, typed column descriptor.
+
+    Attributes:
+        name: Column name, unique within a schema.
+        dtype: Logical type.
+        dim: Dimensionality for ``TENSOR`` columns (ignored otherwise).
+        nullable: Whether NULLs may appear (stored as NaN / None sentinels).
+    """
+
+    name: str
+    dtype: DataType
+    dim: int = 0
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("field name must be non-empty")
+        if self.dtype is DataType.TENSOR and self.dim <= 0:
+            raise SchemaError(
+                f"tensor field {self.name!r} requires a positive dim, got {self.dim}"
+            )
+        if self.dtype is not DataType.TENSOR and self.dim:
+            raise SchemaError(
+                f"non-tensor field {self.name!r} must not declare dim={self.dim}"
+            )
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered, name-unique collection of fields."""
+
+    fields: tuple[Field, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names in schema: {dupes}")
+
+    @classmethod
+    def of(cls, *fields: Field) -> "Schema":
+        return cls(tuple(fields))
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self):
+        return iter(self.fields)
+
+    def __contains__(self, name: str) -> bool:
+        return any(f.name == name for f in self.fields)
+
+    def field(self, name: str) -> Field:
+        """Look up a field by name, raising :class:`SchemaError` if absent."""
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise SchemaError(f"unknown column {name!r}; have {list(self.names)}")
+
+    def index_of(self, name: str) -> int:
+        for i, f in enumerate(self.fields):
+            if f.name == name:
+                return i
+        raise SchemaError(f"unknown column {name!r}; have {list(self.names)}")
+
+    def select(self, names: list[str] | tuple[str, ...]) -> "Schema":
+        """Projection: a new schema with the given columns, in given order."""
+        return Schema(tuple(self.field(n) for n in names))
+
+    def add(self, new_field: Field) -> "Schema":
+        """Return a schema extended with one more field."""
+        if new_field.name in self:
+            raise SchemaError(f"column {new_field.name!r} already exists")
+        return Schema(self.fields + (new_field,))
+
+    def drop(self, name: str) -> "Schema":
+        self.field(name)  # validate existence
+        return Schema(tuple(f for f in self.fields if f.name != name))
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Return a schema with columns renamed per ``mapping``."""
+        for old in mapping:
+            self.field(old)
+        renamed = tuple(
+            Field(mapping.get(f.name, f.name), f.dtype, f.dim, f.nullable)
+            for f in self.fields
+        )
+        return Schema(renamed)
+
+    def concat(self, other: "Schema", *, prefixes: tuple[str, str] | None = None) -> "Schema":
+        """Schema of a join output.
+
+        Overlapping names are disambiguated with ``prefixes`` (e.g.
+        ``("l_", "r_")``); without prefixes an overlap raises.
+        """
+        overlap = set(self.names) & set(other.names)
+        if overlap and prefixes is None:
+            raise SchemaError(
+                f"join schemas overlap on {sorted(overlap)}; provide prefixes"
+            )
+        if prefixes is None:
+            return Schema(self.fields + other.fields)
+        lp, rp = prefixes
+
+        def _apply(fields: tuple[Field, ...], prefix: str) -> tuple[Field, ...]:
+            return tuple(
+                Field(
+                    prefix + f.name if f.name in overlap else f.name,
+                    f.dtype,
+                    f.dim,
+                    f.nullable,
+                )
+                for f in fields
+            )
+
+        return Schema(_apply(self.fields, lp) + _apply(other.fields, rp))

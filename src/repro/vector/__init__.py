@@ -1,0 +1,31 @@
+"""Vector compute kernels: cosine similarity, norms, top-k selection."""
+
+from .kernels import (
+    Kernel,
+    cosine_matrix,
+    cosine_matrix_gemm,
+    cosine_matrix_scalar,
+    cosine_matrix_vectorized,
+    cosine_scalar,
+    cosine_vectorized,
+    dot_scalar,
+)
+from .norms import is_normalized, l2_norms, normalize_rows, normalize_vector
+from .topk import top_k_indices, top_k_per_row
+
+__all__ = [
+    "Kernel",
+    "cosine_matrix",
+    "cosine_matrix_gemm",
+    "cosine_matrix_scalar",
+    "cosine_matrix_vectorized",
+    "cosine_scalar",
+    "cosine_vectorized",
+    "dot_scalar",
+    "is_normalized",
+    "l2_norms",
+    "normalize_rows",
+    "normalize_vector",
+    "top_k_indices",
+    "top_k_per_row",
+]

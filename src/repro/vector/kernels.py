@@ -1,0 +1,159 @@
+"""Cosine-similarity compute kernels: the physical-optimization knob.
+
+The paper contrasts scalar C++ loops with AVX-SIMD kernels (Section V-A-3,
+Figures 8-9).  In this Python reproduction the same contrast is expressed
+as:
+
+* ``SCALAR`` ("NO-SIMD"): a pure-Python per-element loop — one interpreted
+  multiply-add per float, the analogue of unvectorized scalar code.
+* ``VECTORIZED`` ("SIMD"): NumPy array expressions that dispatch to
+  compiled, hardware-vectorized loops.
+* ``GEMM``: BLAS matrix-matrix multiplication, used by the tensor join.
+
+All kernels compute the same mathematical result; tests assert their
+equivalence, benchmarks their performance ordering.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+import numpy as np
+
+from ..errors import DimensionalityError
+from .norms import ZERO_NORM_EPS
+
+
+class Kernel(enum.Enum):
+    """Available cosine computation strategies."""
+
+    SCALAR = "scalar"        # pure-Python loops ("NO-SIMD")
+    VECTORIZED = "vectorized"  # NumPy elementwise ("SIMD")
+    GEMM = "gemm"            # BLAS matrix multiply (tensor formulation)
+
+
+def _check_pair(a: np.ndarray, b: np.ndarray) -> None:
+    if a.ndim != 1 or b.ndim != 1:
+        raise DimensionalityError(
+            f"expected 1-D vectors, got ndim={a.ndim} and ndim={b.ndim}"
+        )
+    if a.shape[0] != b.shape[0]:
+        raise DimensionalityError(
+            f"dimensionality mismatch: {a.shape[0]} vs {b.shape[0]}"
+        )
+
+
+def dot_scalar(a: np.ndarray, b: np.ndarray) -> float:
+    """Pure-Python dot product (the NO-SIMD kernel)."""
+    _check_pair(a, b)
+    total = 0.0
+    av = a.tolist()
+    bv = b.tolist()
+    for x, y in zip(av, bv):
+        total += x * y
+    return total
+
+
+def cosine_scalar(a: np.ndarray, b: np.ndarray) -> float:
+    """Pure-Python cosine similarity between two vectors."""
+    _check_pair(a, b)
+    dot = 0.0
+    na = 0.0
+    nb = 0.0
+    for x, y in zip(a.tolist(), b.tolist()):
+        dot += x * y
+        na += x * x
+        nb += y * y
+    denom = math.sqrt(na) * math.sqrt(nb)
+    if denom < ZERO_NORM_EPS:
+        return 0.0
+    return dot / denom
+
+
+def cosine_vectorized(a: np.ndarray, b: np.ndarray) -> float:
+    """NumPy cosine similarity between two vectors (the SIMD kernel)."""
+    _check_pair(a, b)
+    dot = float(a @ b)
+    denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if denom < ZERO_NORM_EPS:
+        return 0.0
+    return dot / denom
+
+
+def cosine_matrix_scalar(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """All-pairs cosine via pure-Python loops: ``(n, m)`` result.
+
+    Deliberately interpreted row-by-row — this is the performance baseline
+    for the "NO-SIMD" series in Figure 8.
+    """
+    left = np.asarray(left)
+    right = np.asarray(right)
+    if left.ndim != 2 or right.ndim != 2 or left.shape[1] != right.shape[1]:
+        raise DimensionalityError(
+            f"incompatible shapes {left.shape} x {right.shape}"
+        )
+    out = np.empty((left.shape[0], right.shape[0]), dtype=np.float32)
+    for i in range(left.shape[0]):
+        for j in range(right.shape[0]):
+            out[i, j] = cosine_scalar(left[i], right[j])
+    return out
+
+
+def cosine_matrix_vectorized(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """All-pairs cosine via row-at-a-time NumPy expressions.
+
+    This models the paper's SIMD NLJ: the outer loops stay (per-tuple
+    processing), but each inner similarity is a hardware-vectorized kernel.
+    One side is processed a vector at a time, so there is no GEMM-level
+    batching — that is the tensor join's contribution (Figure 12's
+    "non-batched" series).
+    """
+    left = np.asarray(left, dtype=np.float32)
+    right = np.asarray(right, dtype=np.float32)
+    if left.ndim != 2 or right.ndim != 2 or left.shape[1] != right.shape[1]:
+        raise DimensionalityError(
+            f"incompatible shapes {left.shape} x {right.shape}"
+        )
+    right_norms = np.sqrt(np.einsum("ij,ij->i", right, right))
+    right_norms = np.where(right_norms < ZERO_NORM_EPS, 1.0, right_norms)
+    out = np.empty((left.shape[0], right.shape[0]), dtype=np.float32)
+    for i in range(left.shape[0]):
+        row = left[i]
+        rn = float(np.linalg.norm(row))
+        if rn < ZERO_NORM_EPS:
+            out[i, :] = 0.0
+            continue
+        out[i, :] = (right @ row) / (right_norms * rn)
+    return out
+
+
+def cosine_matrix_gemm(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """All-pairs cosine via one BLAS GEMM (the tensor formulation).
+
+    Normalizes both operands and computes ``L @ R.T`` — exactly the matrix
+    formulation of Figure 6.
+    """
+    from .norms import normalize_rows  # local import avoids cycle at module load
+
+    left_n = normalize_rows(left)
+    right_n = normalize_rows(right)
+    if left_n.shape[1] != right_n.shape[1]:
+        raise DimensionalityError(
+            f"incompatible shapes {left_n.shape} x {right_n.shape}"
+        )
+    return left_n @ right_n.T
+
+
+_MATRIX_KERNELS = {
+    Kernel.SCALAR: cosine_matrix_scalar,
+    Kernel.VECTORIZED: cosine_matrix_vectorized,
+    Kernel.GEMM: cosine_matrix_gemm,
+}
+
+
+def cosine_matrix(
+    left: np.ndarray, right: np.ndarray, *, kernel: Kernel = Kernel.GEMM
+) -> np.ndarray:
+    """Dispatch an all-pairs cosine computation to the chosen kernel."""
+    return _MATRIX_KERNELS[kernel](left, right)

@@ -1,0 +1,30 @@
+"""Seeded synthetic workload generators."""
+
+from .selectivity import (
+    SEL_ATTR,
+    filter_bitmap,
+    selectivity_predicate,
+    selectivity_values,
+    vector_relation,
+)
+from .strings import DirtyStringWorkload, generate_dirty_strings
+from .synthetic import (
+    clustered_vectors,
+    paired_relations,
+    random_vectors,
+    unit_vectors,
+)
+
+__all__ = [
+    "DirtyStringWorkload",
+    "SEL_ATTR",
+    "clustered_vectors",
+    "filter_bitmap",
+    "generate_dirty_strings",
+    "paired_relations",
+    "random_vectors",
+    "selectivity_predicate",
+    "selectivity_values",
+    "unit_vectors",
+    "vector_relation",
+]

@@ -1,0 +1,81 @@
+"""Selectivity-controlled relational workloads (Figures 15-17 setup).
+
+The paper controls relational selectivity with "one relational attribute
+column based on which we control the selectivity".  We reproduce that: a
+uniform ``sel_attr`` in ``[0, 100)`` so the predicate ``sel_attr < s``
+selects exactly ``s%`` of the rows in expectation (and, with the
+permutation construction below, *exactly* ``floor(s% * n)`` rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import get_config
+from ..errors import WorkloadError
+from ..relational.expressions import Col, Expression
+from ..relational.schema import DataType, Field, Schema
+from ..relational.table import Table
+from .synthetic import unit_vectors
+
+#: Name of the selectivity-control attribute.
+SEL_ATTR = "sel_attr"
+
+
+def selectivity_values(
+    n: int, *, stream: str = "selectivity", seed: int | None = None
+) -> np.ndarray:
+    """A permutation-based uniform attribute over [0, 100).
+
+    Using a shuffled ``linspace`` (not IID uniforms) makes the predicate
+    ``sel_attr < s`` select an exact fraction, which keeps the selectivity
+    sweep noise-free at small scale.
+    """
+    if n < 0:
+        raise WorkloadError(f"n must be >= 0, got {n}")
+    rng = (
+        np.random.default_rng(seed)
+        if seed is not None
+        else get_config().rng(stream)
+    )
+    values = np.linspace(0.0, 100.0, num=n, endpoint=False)
+    rng.shuffle(values)
+    return values.astype(np.float64)
+
+
+def vector_relation(
+    n: int,
+    dim: int,
+    *,
+    stream: str = "vector-relation",
+    seed: int | None = None,
+) -> Table:
+    """A base relation: ``id | sel_attr | vec`` (Figures 15-17's 1M side)."""
+    vectors = unit_vectors(n, dim, stream=stream + "/vec", seed=seed)
+    schema = Schema.of(
+        Field("id", DataType.INT64),
+        Field(SEL_ATTR, DataType.FLOAT64),
+        Field("vec", DataType.TENSOR, dim=dim),
+    )
+    return Table.from_arrays(
+        schema,
+        {
+            "id": np.arange(n, dtype=np.int64),
+            SEL_ATTR: selectivity_values(n, stream=stream + "/sel", seed=seed),
+            "vec": vectors,
+        },
+    )
+
+
+def selectivity_predicate(percent: float) -> Expression:
+    """Predicate selecting ``percent``% of a :func:`vector_relation`."""
+    if not 0.0 <= percent <= 100.0:
+        raise WorkloadError(f"percent must be in [0, 100], got {percent}")
+    return Col(SEL_ATTR) < float(percent)
+
+
+def filter_bitmap(table: Table, percent: float) -> np.ndarray:
+    """Boolean pre-filter bitmap for a ``percent``% selectivity."""
+    return np.asarray(
+        selectivity_predicate(percent).evaluate(table), dtype=bool
+    )

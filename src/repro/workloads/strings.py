@@ -1,0 +1,127 @@
+"""Dirty-string workloads: online data cleaning and integration.
+
+Section II-A-2 motivates joining string data that has "misspellings,
+alternative spellings, synonyms, or different tenses" without prior
+cleaning.  This generator produces two relations:
+
+* a **clean** catalog relation of canonical words,
+* a **dirty** feed relation whose strings are noisy variants (misspelled /
+  pluralized / same-topic synonyms) of catalog entries,
+
+plus the ground-truth mapping, so examples and tests can measure how well
+an E-join recovers the integration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import get_config
+from ..errors import WorkloadError
+from ..embedding.corpus import DEFAULT_TOPICS, make_misspelling, pluralize
+from ..relational.column import date_to_days
+from ..relational.schema import DataType, Field, Schema
+from ..relational.table import Table
+
+
+@dataclass
+class DirtyStringWorkload:
+    """Generated tables plus ground truth."""
+
+    catalog: Table     # id | word
+    feed: Table        # id | text | day (DATE) | views
+    #: feed row id -> catalog row id it was derived from.
+    truth: dict[int, int]
+    #: feed row id -> kind of corruption ("exact"|"misspelled"|"plural"|"synonym")
+    kinds: dict[int, str]
+
+
+def generate_dirty_strings(
+    *,
+    n_feed: int = 500,
+    topics: dict[str, list[str]] | None = None,
+    misspelling_rate: float = 0.3,
+    plural_rate: float = 0.2,
+    synonym_rate: float = 0.2,
+    stream: str = "dirty-strings",
+    seed: int | None = None,
+) -> DirtyStringWorkload:
+    """Build the catalog/feed pair with controllable corruption rates."""
+    rates = misspelling_rate + plural_rate + synonym_rate
+    if rates > 1.0:
+        raise WorkloadError(
+            f"corruption rates sum to {rates}, must be <= 1.0"
+        )
+    topics = dict(topics or DEFAULT_TOPICS)
+    rng = (
+        np.random.default_rng(seed)
+        if seed is not None
+        else get_config().rng(stream)
+    )
+
+    words: list[str] = []
+    word_topic: list[str] = []
+    for topic in sorted(topics):
+        for w in topics[topic]:
+            words.append(w)
+            word_topic.append(topic)
+    catalog_schema = Schema.of(
+        Field("id", DataType.INT64), Field("word", DataType.STRING)
+    )
+    catalog = Table.from_arrays(
+        catalog_schema,
+        {"id": np.arange(len(words), dtype=np.int64), "word": words},
+    )
+
+    topic_members: dict[str, list[int]] = {}
+    for idx, topic in enumerate(word_topic):
+        topic_members.setdefault(topic, []).append(idx)
+
+    texts: list[str] = []
+    days: list[int] = []
+    views: list[int] = []
+    truth: dict[int, int] = {}
+    kinds: dict[int, str] = {}
+    base_day = date_to_days("2023-01-01")
+    for feed_id in range(n_feed):
+        src = int(rng.integers(len(words)))
+        roll = float(rng.random())
+        if roll < misspelling_rate:
+            text = make_misspelling(words[src], rng)
+            kind = "misspelled"
+        elif roll < misspelling_rate + plural_rate:
+            text = pluralize(words[src])
+            kind = "plural"
+        elif roll < misspelling_rate + plural_rate + synonym_rate:
+            members = topic_members[word_topic[src]]
+            other = members[int(rng.integers(len(members)))]
+            text = words[other]
+            src = other
+            kind = "synonym"
+        else:
+            text = words[src]
+            kind = "exact"
+        texts.append(text)
+        days.append(base_day + int(rng.integers(365)))
+        views.append(int(rng.integers(1, 10_000)))
+        truth[feed_id] = src
+        kinds[feed_id] = kind
+
+    feed_schema = Schema.of(
+        Field("id", DataType.INT64),
+        Field("text", DataType.STRING),
+        Field("day", DataType.DATE),
+        Field("views", DataType.INT64),
+    )
+    feed = Table.from_arrays(
+        feed_schema,
+        {
+            "id": np.arange(n_feed, dtype=np.int64),
+            "text": texts,
+            "day": np.asarray(days, dtype=np.int64),
+            "views": np.asarray(views, dtype=np.int64),
+        },
+    )
+    return DirtyStringWorkload(catalog=catalog, feed=feed, truth=truth, kinds=kinds)

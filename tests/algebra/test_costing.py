@@ -1,0 +1,147 @@
+"""Unit tests for logical-plan cost estimation."""
+
+import pytest
+
+from repro.algebra import (
+    EJoinNode,
+    EmbedNode,
+    EquiJoinNode,
+    ESelectNode,
+    FilterNode,
+    LimitNode,
+    ProjectNode,
+    ScanNode,
+)
+from repro.algebra.costing import PlanEstimate, compare_plans, estimate_cost
+from repro.core import ThresholdCondition, TopKCondition
+from repro.errors import PlanError
+from repro.relational import Catalog, Col
+
+
+@pytest.fixture()
+def catalog(people_table):
+    cat = Catalog()
+    cat.register("small", people_table)
+    big = people_table
+    for _ in range(5):
+        big = big.concat_rows(big)
+    cat.register("big", big)  # 160 rows
+    return cat
+
+
+def ejoin(left="small", right="big", prefetch=True, hint=None, condition=None):
+    return EJoinNode(
+        ScanNode(left),
+        ScanNode(right),
+        "name",
+        "name",
+        "m",
+        condition or ThresholdCondition(0.9),
+        prefetch=prefetch,
+        strategy_hint=hint,
+    )
+
+
+class TestNodeEstimates:
+    def test_scan_rows(self, catalog):
+        est = estimate_cost(ScanNode("big"), catalog)
+        assert est.rows == 160
+        assert est.cost > 0
+
+    def test_filter_reduces_rows(self, catalog):
+        est = estimate_cost(
+            FilterNode(ScanNode("big"), Col("age") > 30), catalog
+        )
+        assert est.rows < 160
+
+    def test_limit_caps_rows(self, catalog):
+        est = estimate_cost(LimitNode(ScanNode("big"), 3), catalog)
+        assert est.rows == 3
+
+    def test_project_preserves_rows(self, catalog):
+        est = estimate_cost(
+            ProjectNode(ScanNode("small"), ("name",)), catalog
+        )
+        assert est.rows == 5
+
+    def test_embed_charges_model(self, catalog):
+        plain = estimate_cost(ScanNode("big"), catalog)
+        embedded = estimate_cost(
+            EmbedNode(ScanNode("big"), "name", "m"), catalog
+        )
+        assert embedded.cost > plain.cost
+        assert "embed" in embedded.breakdown
+
+    def test_eselect_topk_rows(self, catalog):
+        est = estimate_cost(
+            ESelectNode(ScanNode("big"), "name", "q", "m", TopKCondition(7)),
+            catalog,
+        )
+        assert est.rows == 7
+
+    def test_equijoin(self, catalog):
+        est = estimate_cost(
+            EquiJoinNode(ScanNode("small"), ScanNode("big"), "name", "name"),
+            catalog,
+        )
+        assert "hash-join" in est.breakdown
+
+    def test_unknown_node(self, catalog):
+        class Strange:
+            pass
+
+        with pytest.raises(PlanError):
+            estimate_cost(Strange(), catalog)
+
+
+class TestEJoinEstimates:
+    def test_naive_costs_more_than_prefetch(self, catalog):
+        naive = estimate_cost(ejoin(prefetch=False), catalog)
+        prefetch = estimate_cost(ejoin(prefetch=True), catalog)
+        assert naive.cost > prefetch.cost
+
+    def test_tensor_cheaper_than_nlj_hint(self, catalog):
+        tensor = estimate_cost(ejoin(hint="tensor"), catalog)
+        nlj = estimate_cost(ejoin(hint="nlj"), catalog)
+        assert tensor.cost < nlj.cost
+
+    def test_filter_pushdown_lowers_cost(self, catalog):
+        """The optimizer's pushdown is justified by the estimator."""
+        above = FilterNode(ejoin(), Col("age") > 30)
+        below = EJoinNode(
+            FilterNode(ScanNode("small"), Col("age") > 30),
+            ScanNode("big"),
+            "name",
+            "name",
+            "m",
+            ThresholdCondition(0.9),
+            prefetch=True,
+        )
+        assert estimate_cost(below, catalog).cost < estimate_cost(above, catalog).cost
+
+    def test_topk_output_rows(self, catalog):
+        est = estimate_cost(
+            ejoin(condition=TopKCondition(3)), catalog
+        )
+        assert est.rows == 5 * 3
+
+
+class TestComparePlans:
+    def test_cheapest_first(self, catalog):
+        ranked = compare_plans(
+            {"naive": ejoin(prefetch=False), "tensor": ejoin(hint="tensor")},
+            catalog,
+        )
+        assert ranked[0][0] == "tensor"
+        assert ranked[0][1].cost <= ranked[1][1].cost
+
+    def test_estimate_breakdown_sums(self, catalog):
+        est = estimate_cost(ejoin(), catalog)
+        assert sum(est.breakdown.values()) == pytest.approx(est.cost)
+
+    def test_plan_estimate_add(self):
+        est = PlanEstimate(rows=1, cost=0.0)
+        est.add("x", 2.0)
+        est.add("x", 3.0)
+        assert est.cost == 5.0
+        assert est.breakdown["x"] == 5.0

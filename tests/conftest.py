@@ -1,0 +1,41 @@
+"""Shared test fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding import HashingEmbedder
+from repro.relational import DataType, Field, Schema, Table
+from repro.workloads import unit_vectors
+
+
+@pytest.fixture()
+def small_vectors() -> tuple[np.ndarray, np.ndarray]:
+    """Two small, deterministic unit-vector relations."""
+    left = unit_vectors(30, 8, seed=101)
+    right = unit_vectors(40, 8, seed=202)
+    return left, right
+
+
+@pytest.fixture()
+def hash_model() -> HashingEmbedder:
+    return HashingEmbedder(dim=16, seed=7)
+
+
+@pytest.fixture()
+def people_table() -> Table:
+    schema = Schema.of(
+        Field("id", DataType.INT64),
+        Field("name", DataType.STRING),
+        Field("age", DataType.INT64),
+        Field("score", DataType.FLOAT64),
+    )
+    rows = [
+        {"id": 1, "name": "ada", "age": 36, "score": 9.5},
+        {"id": 2, "name": "bob", "age": 41, "score": 7.25},
+        {"id": 3, "name": "cyd", "age": 29, "score": 8.0},
+        {"id": 4, "name": "dan", "age": 36, "score": 5.5},
+        {"id": 5, "name": "eve", "age": 52, "score": 6.75},
+    ]
+    return Table.from_dicts(schema, rows)

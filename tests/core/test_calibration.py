@@ -1,0 +1,73 @@
+"""Unit tests for cost-model calibration."""
+
+import pytest
+
+from repro.core import CalibrationReport, calibrate, calibrated_params
+from repro.embedding import HashingEmbedder
+from repro.errors import JoinError
+from repro.index import FlatIndex
+from repro.workloads import unit_vectors
+
+
+@pytest.fixture(scope="module")
+def report():
+    model = HashingEmbedder(dim=32, seed=19)
+    return calibrate(model, dim=32, n_rows=256)
+
+
+class TestCalibrate:
+    def test_all_timings_positive(self, report):
+        assert report.access_per_tuple > 0
+        assert report.model_per_item > 0
+        assert report.nlj_per_dim_element > 0
+        assert report.gemm_per_dim_element > 0
+
+    def test_gemm_not_slower_than_nlj(self, report):
+        """BLAS batching should beat the row-at-a-time kernel per element."""
+        assert report.gemm_per_dim_element <= report.nlj_per_dim_element
+
+    def test_model_costs_more_than_access(self, report):
+        """An embedding call dwarfs streaming one tuple (why prefetching
+        matters)."""
+        assert report.model_per_item > report.access_per_tuple
+
+    def test_probe_cost_with_index(self):
+        model = HashingEmbedder(dim=16, seed=20)
+        index = FlatIndex(16)
+        index.add(unit_vectors(500, 16, seed=21))
+        report = calibrate(model, dim=16, n_rows=128, index=index)
+        assert report.probe_per_distance is not None
+        assert report.probe_per_distance > 0
+
+    def test_too_few_rows(self):
+        with pytest.raises(JoinError):
+            calibrate(HashingEmbedder(dim=8), n_rows=10)
+
+
+class TestToParams:
+    def test_normalized_to_access(self, report):
+        params = report.to_params()
+        assert params.access == 1.0
+        params.validate()
+
+    def test_gemm_efficiency_in_range(self, report):
+        params = report.to_params()
+        assert 0 < params.gemm_efficiency <= 1.0
+
+    def test_convenience_wrapper(self):
+        params = calibrated_params(
+            HashingEmbedder(dim=16, seed=22), dim=16, n_rows=128
+        )
+        params.validate()
+        assert params.model > 0
+
+    def test_degenerate_timings_floored(self):
+        report = CalibrationReport(
+            access_per_tuple=0.0,
+            model_per_item=0.0,
+            nlj_per_dim_element=0.0,
+            gemm_per_dim_element=0.0,
+            probe_per_distance=None,
+        )
+        params = report.to_params()
+        params.validate()

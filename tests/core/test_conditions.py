@@ -1,0 +1,58 @@
+"""Unit tests for join conditions."""
+
+import pytest
+
+from repro.core import ThresholdCondition, TopKCondition
+from repro.core.conditions import validate_condition
+from repro.errors import JoinError
+
+
+class TestThresholdCondition:
+    def test_valid_range(self):
+        assert ThresholdCondition(0.9).threshold == 0.9
+        assert ThresholdCondition(-1.0).threshold == -1.0
+        assert ThresholdCondition(1.0).threshold == 1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(JoinError):
+            ThresholdCondition(1.5)
+        with pytest.raises(JoinError):
+            ThresholdCondition(-1.01)
+
+    def test_str(self):
+        assert "0.9" in str(ThresholdCondition(0.9))
+
+    def test_frozen_and_hashable(self):
+        assert ThresholdCondition(0.5) == ThresholdCondition(0.5)
+        assert hash(ThresholdCondition(0.5)) == hash(ThresholdCondition(0.5))
+
+
+class TestTopKCondition:
+    def test_valid(self):
+        c = TopKCondition(5)
+        assert c.k == 5
+        assert c.min_similarity is None
+
+    def test_k_validation(self):
+        with pytest.raises(JoinError):
+            TopKCondition(0)
+
+    def test_min_similarity_validation(self):
+        with pytest.raises(JoinError):
+            TopKCondition(3, min_similarity=2.0)
+        c = TopKCondition(3, min_similarity=0.8)
+        assert c.min_similarity == 0.8
+
+    def test_str(self):
+        assert str(TopKCondition(32)) == "top-32"
+        assert "sim >= 0.9" in str(TopKCondition(32, min_similarity=0.9))
+
+
+class TestValidateCondition:
+    def test_accepts_known(self):
+        for c in (ThresholdCondition(0.1), TopKCondition(2)):
+            assert validate_condition(c) is c
+
+    def test_rejects_unknown(self):
+        with pytest.raises(JoinError, match="unsupported"):
+            validate_condition("sim > 0.9")

@@ -1,0 +1,138 @@
+"""Unit tests for naive and prefetch E-NLJ operators."""
+
+import numpy as np
+import pytest
+
+from repro.core import ThresholdCondition, TopKCondition, naive_nlj, prefetch_nlj
+from repro.embedding import HashingEmbedder
+from repro.errors import DimensionalityError, JoinError
+from repro.vector import Kernel
+
+THRESHOLD = ThresholdCondition(0.4)
+
+
+@pytest.fixture()
+def words():
+    left = ["barbecue", "grill", "piano", "sqlite"]
+    right = ["barbeque", "grilling", "pianos", "postgres", "violin"]
+    return left, right
+
+
+class TestNaiveNLJ:
+    def test_quadratic_model_calls(self, words, hash_model):
+        """The naive formulation embeds BOTH tuples per pair:
+        2 * |R| * |S| model calls (E-NL Join Cost, Section IV-A)."""
+        left, right = words
+        result = naive_nlj(left, right, hash_model, THRESHOLD)
+        assert result.stats.model_calls == 2 * len(left) * len(right)
+        assert hash_model.usage.calls == 2 * len(left) * len(right)
+
+    def test_matches_prefetch_results(self, words, hash_model):
+        left, right = words
+        naive = naive_nlj(left, right, hash_model, THRESHOLD)
+        prefetch = prefetch_nlj(left, right, THRESHOLD, model=hash_model)
+        assert naive.pairs() == prefetch.pairs()
+
+    def test_scalar_kernel_same_result(self, words, hash_model):
+        left, right = words
+        a = naive_nlj(left, right, hash_model, THRESHOLD, kernel=Kernel.SCALAR)
+        b = naive_nlj(left, right, hash_model, THRESHOLD, kernel=Kernel.VECTORIZED)
+        assert a.pairs() == b.pairs()
+
+    def test_topk_condition(self, words, hash_model):
+        left, right = words
+        result = naive_nlj(left, right, hash_model, TopKCondition(1))
+        assert len(result) == len(left)
+
+    def test_gemm_kernel_rejected(self, words, hash_model):
+        left, right = words
+        with pytest.raises(JoinError, match="tensor"):
+            naive_nlj(left, right, hash_model, THRESHOLD, kernel=Kernel.GEMM)
+
+    def test_strategy_label(self, words, hash_model):
+        left, right = words
+        result = naive_nlj(left, right, hash_model, THRESHOLD)
+        assert result.stats.strategy.startswith("naive-nlj")
+
+
+class TestPrefetchNLJ:
+    def test_linear_model_calls(self, words, hash_model):
+        """Prefetch embeds once per tuple: |R| + |S| calls."""
+        left, right = words
+        result = prefetch_nlj(left, right, THRESHOLD, model=hash_model)
+        assert result.stats.model_calls == len(left) + len(right)
+        assert hash_model.usage.calls == len(left) + len(right)
+
+    def test_vector_inputs_no_model_needed(self, small_vectors):
+        left, right = small_vectors
+        result = prefetch_nlj(left, right, THRESHOLD)
+        assert result.stats.model_calls == 0
+
+    def test_raw_items_without_model_rejected(self, words):
+        left, right = words
+        with pytest.raises(JoinError, match="model"):
+            prefetch_nlj(left, right, THRESHOLD)
+
+    def test_scalar_equals_vectorized(self, small_vectors):
+        left, right = small_vectors
+        a = prefetch_nlj(left[:10], right[:10], THRESHOLD, kernel=Kernel.SCALAR)
+        b = prefetch_nlj(left[:10], right[:10], THRESHOLD, kernel=Kernel.VECTORIZED)
+        assert a.pairs() == b.pairs()
+
+    def test_matches_bruteforce(self, small_vectors):
+        left, right = small_vectors
+        from repro.vector import cosine_matrix_gemm
+
+        scores = cosine_matrix_gemm(left, right)
+        expected = set(zip(*np.nonzero(scores >= THRESHOLD.threshold)))
+        got = prefetch_nlj(left, right, THRESHOLD).pairs()
+        assert got == {(int(i), int(j)) for i, j in expected}
+
+    def test_topk_per_left_row(self, small_vectors):
+        left, right = small_vectors
+        result = prefetch_nlj(left, right, TopKCondition(3))
+        counts = np.bincount(result.left_ids, minlength=len(left))
+        assert (counts == 3).all()
+
+    def test_topk_with_min_similarity(self, small_vectors):
+        left, right = small_vectors
+        result = prefetch_nlj(
+            left, right, TopKCondition(3, min_similarity=0.5)
+        )
+        assert (result.scores >= 0.5).all()
+
+    def test_swap_loops_threshold_same_result(self, small_vectors):
+        left, right = small_vectors
+        plain = prefetch_nlj(left, right, THRESHOLD)
+        swapped = prefetch_nlj(left, right, THRESHOLD, swap_loops=True)
+        assert plain.pairs() == swapped.pairs()
+
+    def test_swap_loops_topk_rejected(self, small_vectors):
+        left, right = small_vectors
+        with pytest.raises(JoinError, match="symmetric"):
+            prefetch_nlj(left, right, TopKCondition(2), swap_loops=True)
+
+    def test_dim_mismatch(self, small_vectors):
+        left, right = small_vectors
+        with pytest.raises(DimensionalityError):
+            prefetch_nlj(left, right[:, :4], THRESHOLD)
+
+    def test_non_2d_input_rejected(self):
+        with pytest.raises(DimensionalityError):
+            prefetch_nlj(np.ones(4), np.ones((2, 4)), THRESHOLD)
+
+    def test_empty_result(self, small_vectors):
+        left, right = small_vectors
+        result = prefetch_nlj(left, right, ThresholdCondition(0.9999))
+        assert len(result) == 0
+        assert result.stats.similarity_evaluations == len(left) * len(right)
+
+    def test_gemm_kernel_rejected(self, small_vectors):
+        left, right = small_vectors
+        with pytest.raises(JoinError, match="tensor_join"):
+            prefetch_nlj(left, right, THRESHOLD, kernel=Kernel.GEMM)
+
+    def test_similarity_evaluation_counter(self, small_vectors):
+        left, right = small_vectors
+        result = prefetch_nlj(left, right, THRESHOLD)
+        assert result.stats.similarity_evaluations == len(left) * len(right)

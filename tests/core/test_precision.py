@@ -1,0 +1,117 @@
+"""Unit tests for the reduced-precision tensor join."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ThresholdCondition,
+    TopKCondition,
+    join_with_precision,
+    precision_error_bound,
+    quantize_fp16,
+    tensor_join,
+    tensor_join_fp16,
+)
+from repro.errors import JoinError
+from repro.vector import normalize_rows
+
+
+class TestQuantize:
+    def test_dtype_and_footprint(self, small_vectors):
+        left, _ = small_vectors
+        half = quantize_fp16(left)
+        assert half.dtype == np.float16
+        assert half.nbytes == left.astype(np.float32).nbytes // 2
+
+    def test_quantization_error_small(self, small_vectors):
+        left, _ = small_vectors
+        full = normalize_rows(left)
+        half = quantize_fp16(left).astype(np.float32)
+        assert np.abs(full - half).max() < 2.0**-10
+
+
+class TestErrorBound:
+    def test_monotone_in_dim(self):
+        assert precision_error_bound(256) > precision_error_bound(16)
+
+    def test_reasonable_magnitude(self):
+        assert precision_error_bound(100) < 0.02
+
+
+class TestFp16Join:
+    def test_scores_within_bound(self, small_vectors):
+        left, right = small_vectors
+        cond = TopKCondition(3)
+        full = tensor_join(left, right, cond).sorted()
+        half = tensor_join_fp16(left, right, cond).sorted()
+        bound = precision_error_bound(left.shape[1])
+        # Compare matched scores pairwise on the common pairs.
+        common = full.pairs() & half.pairs()
+        full_scores = {
+            (l, r): s
+            for l, r, s in zip(
+                full.left_ids.tolist(), full.right_ids.tolist(), full.scores
+            )
+        }
+        half_scores = {
+            (l, r): s
+            for l, r, s in zip(
+                half.left_ids.tolist(), half.right_ids.tolist(), half.scores
+            )
+        }
+        assert len(common) >= 0.9 * len(full.pairs())
+        for pair in common:
+            assert abs(full_scores[pair] - half_scores[pair]) <= bound
+
+    def test_threshold_differences_only_near_boundary(self, small_vectors):
+        left, right = small_vectors
+        t = 0.4
+        full = tensor_join(left, right, ThresholdCondition(t))
+        half = tensor_join_fp16(left, right, ThresholdCondition(t))
+        bound = precision_error_bound(left.shape[1])
+        scores = normalize_rows(left) @ normalize_rows(right).T
+        for l, r in full.pairs() ^ half.pairs():
+            assert abs(float(scores[l, r]) - t) <= 2 * bound
+
+    def test_operand_bytes_recorded(self, small_vectors):
+        left, right = small_vectors
+        result = tensor_join_fp16(left, right, TopKCondition(1))
+        expected = (left.size + right.size) * 2  # fp16 bytes
+        assert result.stats.extra["operand_bytes"] == expected
+
+    def test_empty_inputs(self):
+        result = tensor_join_fp16(
+            np.empty((0, 4), dtype=np.float32),
+            np.empty((0, 4), dtype=np.float32),
+            TopKCondition(1),
+        )
+        assert len(result) == 0
+
+    def test_batching_supported(self, small_vectors):
+        left, right = small_vectors
+        full = tensor_join_fp16(left, right, ThresholdCondition(0.4))
+        batched = tensor_join_fp16(
+            left, right, ThresholdCondition(0.4), batch_left=7, batch_right=9
+        )
+        assert full.pairs() == batched.pairs()
+
+
+class TestDispatch:
+    def test_fp32_dispatch(self, small_vectors):
+        left, right = small_vectors
+        result = join_with_precision(
+            left, right, TopKCondition(1), precision="fp32"
+        )
+        assert result.stats.strategy == "tensor"
+
+    def test_fp16_dispatch(self, small_vectors):
+        left, right = small_vectors
+        result = join_with_precision(
+            left, right, TopKCondition(1), precision="fp16"
+        )
+        assert result.stats.strategy == "tensor-fp16"
+
+    def test_unknown_precision(self, small_vectors):
+        left, right = small_vectors
+        with pytest.raises(JoinError, match="unknown precision"):
+            join_with_precision(left, right, TopKCondition(1), precision="int8")

@@ -1,0 +1,118 @@
+"""Unit tests for the JoinResult offset-pair representation."""
+
+import numpy as np
+import pytest
+
+from repro.core import JoinResult, JoinStats
+from repro.errors import JoinError
+from repro.relational import DataType, Field, Schema, Table
+
+
+def make_result() -> JoinResult:
+    return JoinResult(
+        np.asarray([0, 0, 2, 1]),
+        np.asarray([1, 0, 2, 1]),
+        np.asarray([0.9, 0.8, 0.95, 0.7]),
+    )
+
+
+def make_tables() -> tuple[Table, Table]:
+    schema = Schema.of(Field("id", DataType.INT64), Field("tag", DataType.STRING))
+    left = Table.from_arrays(
+        schema, {"id": np.asarray([10, 11, 12]), "tag": ["a", "b", "c"]}
+    )
+    right = Table.from_arrays(
+        schema, {"id": np.asarray([20, 21, 22]), "tag": ["x", "y", "z"]}
+    )
+    return left, right
+
+
+class TestConstruction:
+    def test_lengths_validated(self):
+        with pytest.raises(JoinError, match="ragged"):
+            JoinResult(np.asarray([0]), np.asarray([0, 1]), np.asarray([0.5]))
+
+    def test_pairs_emitted_recorded(self):
+        assert make_result().stats.pairs_emitted == 4
+
+    def test_empty(self):
+        r = JoinResult.empty()
+        assert len(r) == 0
+        assert r.pairs() == set()
+
+    def test_concat(self):
+        merged = JoinResult.concat([make_result(), make_result()])
+        assert len(merged) == 8
+
+    def test_concat_empty_list(self):
+        assert len(JoinResult.concat([])) == 0
+
+    def test_dtype_coercion(self):
+        r = JoinResult([0], [1], [0.5])
+        assert r.left_ids.dtype == np.int64
+        assert r.scores.dtype == np.float32
+
+
+class TestViews:
+    def test_pairs(self):
+        assert make_result().pairs() == {(0, 1), (0, 0), (2, 2), (1, 1)}
+
+    def test_sorted_canonical(self):
+        r = make_result().sorted()
+        assert r.left_ids.tolist() == [0, 0, 1, 2]
+        assert r.right_ids.tolist() == [0, 1, 1, 2]
+
+    def test_to_sparse(self):
+        sp = make_result().to_sparse((3, 3))
+        assert sp.shape == (3, 3)
+        assert sp.nnz == 4
+        dense = sp.toarray()
+        assert dense[2, 2] == pytest.approx(0.95)
+
+    def test_nbytes(self):
+        assert make_result().nbytes() == 4 * (8 + 8 + 4)
+
+    def test_top_per_left(self):
+        best = make_result().top_per_left()
+        assert len(best) == 3
+        pairs = dict(zip(best.left_ids.tolist(), best.right_ids.tolist()))
+        assert pairs[0] == 1  # 0.9 beats 0.8
+
+    def test_top_per_left_empty(self):
+        assert len(JoinResult.empty().top_per_left()) == 0
+
+
+class TestMaterialize:
+    def test_gathers_payloads(self):
+        left, right = make_tables()
+        out = make_result().materialize(left, right)
+        assert out.num_rows == 4
+        assert "similarity" in out.schema
+        row = out.sort_by("similarity", descending=True).row(0)
+        assert row["l_tag"] == "c" and row["r_tag"] == "z"
+
+    def test_out_of_range_offsets_rejected(self):
+        left, right = make_tables()
+        bad = JoinResult(np.asarray([9]), np.asarray([0]), np.asarray([0.5]))
+        with pytest.raises(JoinError, match="exceed"):
+            bad.materialize(left, right)
+
+    def test_custom_prefixes_and_score_name(self):
+        left, right = make_tables()
+        out = make_result().materialize(
+            left, right, prefixes=("a_", "b_"), score_column="cos"
+        )
+        assert "a_tag" in out.schema and "cos" in out.schema
+
+
+class TestStats:
+    def test_defaults(self):
+        stats = JoinStats()
+        assert stats.strategy == ""
+        assert stats.model_calls == 0
+
+    def test_attached_stats_preserved(self):
+        stats = JoinStats(strategy="test", model_calls=7)
+        r = JoinResult(np.asarray([0]), np.asarray([0]), np.asarray([1.0]), stats)
+        assert r.stats.strategy == "test"
+        assert r.stats.model_calls == 7

@@ -1,0 +1,174 @@
+"""Unit tests for the tensor (GEMM) join formulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ThresholdCondition,
+    TopKCondition,
+    prefetch_nlj,
+    resolve_batch_shape,
+    tensor_join,
+    tensor_join_non_batched,
+)
+from repro.embedding import HashingEmbedder
+from repro.errors import BufferBudgetError, DimensionalityError
+from repro.vector import normalize_rows
+
+THRESHOLD = ThresholdCondition(0.4)
+
+
+class TestEquivalence:
+    def test_threshold_matches_nlj(self, small_vectors):
+        left, right = small_vectors
+        assert (
+            tensor_join(left, right, THRESHOLD).pairs()
+            == prefetch_nlj(left, right, THRESHOLD).pairs()
+        )
+
+    def test_topk_matches_nlj(self, small_vectors):
+        left, right = small_vectors
+        for k in (1, 3, 7):
+            assert (
+                tensor_join(left, right, TopKCondition(k)).pairs()
+                == prefetch_nlj(left, right, TopKCondition(k)).pairs()
+            )
+
+    def test_topk_with_min_similarity(self, small_vectors):
+        left, right = small_vectors
+        cond = TopKCondition(5, min_similarity=0.3)
+        assert (
+            tensor_join(left, right, cond).pairs()
+            == prefetch_nlj(left, right, cond).pairs()
+        )
+
+    def test_scores_match_nlj(self, small_vectors):
+        left, right = small_vectors
+        a = tensor_join(left, right, THRESHOLD).sorted()
+        b = prefetch_nlj(left, right, THRESHOLD).sorted()
+        assert np.allclose(a.scores, b.scores, atol=1e-5)
+
+
+class TestBatching:
+    @pytest.mark.parametrize("bl,br", [(1, 1), (7, 13), (30, 40), (64, 5)])
+    def test_batch_shape_invariance_threshold(self, small_vectors, bl, br):
+        left, right = small_vectors
+        full = tensor_join(left, right, THRESHOLD)
+        batched = tensor_join(left, right, THRESHOLD, batch_left=bl, batch_right=br)
+        assert full.pairs() == batched.pairs()
+
+    @pytest.mark.parametrize("bl,br", [(1, 1), (7, 13), (30, 40)])
+    def test_batch_shape_invariance_topk(self, small_vectors, bl, br):
+        left, right = small_vectors
+        cond = TopKCondition(4)
+        full = tensor_join(left, right, cond)
+        batched = tensor_join(left, right, cond, batch_left=bl, batch_right=br)
+        assert full.pairs() == batched.pairs()
+
+    def test_peak_buffer_tracks_batch(self, small_vectors):
+        left, right = small_vectors
+        result = tensor_join(left, right, THRESHOLD, batch_left=5, batch_right=8)
+        assert result.stats.peak_buffer_elements == 40
+
+    def test_batch_invocations_counted(self, small_vectors):
+        left, right = small_vectors  # 30 x 40
+        result = tensor_join(left, right, THRESHOLD, batch_left=10, batch_right=20)
+        assert result.stats.batch_invocations == 3 * 2
+
+    def test_buffer_budget_respected(self, small_vectors):
+        left, right = small_vectors
+        budget = 400  # bytes -> 100 cells
+        result = tensor_join(left, right, THRESHOLD, buffer_budget_bytes=budget)
+        assert result.stats.peak_buffer_elements * 4 <= budget
+        assert result.pairs() == tensor_join(left, right, THRESHOLD).pairs()
+
+    def test_budget_too_small(self):
+        with pytest.raises(BufferBudgetError):
+            resolve_batch_shape(10, 10, buffer_budget_bytes=2)
+
+
+class TestResolveBatchShape:
+    def test_defaults_to_full(self):
+        assert resolve_batch_shape(100, 200) == (100, 200)
+
+    def test_explicit_clamped(self):
+        assert resolve_batch_shape(10, 10, batch_left=50, batch_right=3) == (10, 3)
+
+    def test_budget_square(self):
+        bl, br = resolve_batch_shape(1000, 1000, buffer_budget_bytes=4 * 10_000)
+        assert bl * br <= 10_000
+
+    def test_empty_inputs(self):
+        assert resolve_batch_shape(0, 5) == (1, 5)
+
+
+class TestNonBatched:
+    def test_same_results_as_batched(self, small_vectors):
+        left, right = small_vectors
+        assert (
+            tensor_join_non_batched(left, right, THRESHOLD).pairs()
+            == tensor_join(left, right, THRESHOLD).pairs()
+        )
+
+    def test_topk(self, small_vectors):
+        left, right = small_vectors
+        cond = TopKCondition(2)
+        assert (
+            tensor_join_non_batched(left, right, cond).pairs()
+            == tensor_join(left, right, cond).pairs()
+        )
+
+    def test_one_invocation_per_left_row(self, small_vectors):
+        left, right = small_vectors
+        result = tensor_join_non_batched(left, right, THRESHOLD)
+        assert result.stats.batch_invocations == len(left)
+
+
+class TestInputHandling:
+    def test_raw_items_with_model(self, hash_model):
+        left = ["alpha", "beta"]
+        right = ["alpha", "gamma", "beta"]
+        result = tensor_join(left, right, ThresholdCondition(0.95), model=hash_model)
+        assert (0, 0) in result.pairs()
+        assert (1, 2) in result.pairs()
+        assert result.stats.model_calls == 5
+
+    def test_assume_normalized_skips_renormalization(self, small_vectors):
+        left, right = small_vectors  # already unit vectors
+        a = tensor_join(left, right, THRESHOLD)
+        b = tensor_join(left, right, THRESHOLD, assume_normalized=True)
+        assert a.pairs() == b.pairs()
+
+    def test_unnormalized_inputs_handled(self):
+        rng = np.random.default_rng(60)
+        left = (rng.standard_normal((10, 4)) * 5).astype(np.float32)
+        right = (rng.standard_normal((12, 4)) * 0.1).astype(np.float32)
+        got = tensor_join(left, right, THRESHOLD).pairs()
+        expected = tensor_join(
+            normalize_rows(left), normalize_rows(right), THRESHOLD
+        ).pairs()
+        assert got == expected
+
+    def test_dim_mismatch(self, small_vectors):
+        left, right = small_vectors
+        with pytest.raises(DimensionalityError):
+            tensor_join(left, right[:, :3], THRESHOLD)
+
+    def test_empty_left(self, small_vectors):
+        _, right = small_vectors
+        result = tensor_join(np.empty((0, 8), dtype=np.float32), right, THRESHOLD)
+        assert len(result) == 0
+
+    def test_empty_right(self, small_vectors):
+        left, _ = small_vectors
+        result = tensor_join(left, np.empty((0, 8), dtype=np.float32), THRESHOLD)
+        assert len(result) == 0
+
+    def test_stats_populated(self, small_vectors):
+        left, right = small_vectors
+        result = tensor_join(left, right, THRESHOLD)
+        assert result.stats.strategy == "tensor"
+        assert result.stats.n_left == 30
+        assert result.stats.n_right == 40
+        assert result.stats.similarity_evaluations == 1200
+        assert result.stats.seconds > 0

@@ -1,0 +1,105 @@
+"""Unit tests for the synthetic semantic corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import generate_corpus, make_misspelling, pluralize
+from repro.errors import WorkloadError
+
+
+class TestPluralize:
+    @pytest.mark.parametrize(
+        "word,plural",
+        [
+            ("dress", "dresses"),
+            ("box", "boxes"),
+            ("church", "churches"),
+            ("city", "cities"),
+            ("word", "words"),
+            ("day", "days"),
+        ],
+    )
+    def test_rules(self, word, plural):
+        assert pluralize(word) == plural
+
+
+class TestMisspelling:
+    def test_single_edit_distance(self):
+        rng = np.random.default_rng(9)
+        for _ in range(50):
+            word = "barbecue"
+            variant = make_misspelling(word, rng)
+            assert abs(len(variant) - len(word)) <= 1
+
+    def test_first_char_preserved(self):
+        rng = np.random.default_rng(10)
+        for _ in range(50):
+            assert make_misspelling("postgres", rng)[0] == "p"
+
+    def test_short_words_unchanged(self):
+        rng = np.random.default_rng(11)
+        assert make_misspelling("ab", rng) == "ab"
+
+    def test_deterministic_given_rng(self):
+        a = make_misspelling("database", np.random.default_rng(12))
+        b = make_misspelling("database", np.random.default_rng(12))
+        assert a == b
+
+
+class TestGenerateCorpus:
+    def test_shapes(self):
+        corpus = generate_corpus(n_sentences=50, sentence_length=(4, 6), seed=1)
+        assert len(corpus.sentences) == 50
+        assert all(4 <= len(s) <= 6 for s in corpus.sentences)
+
+    def test_deterministic(self):
+        a = generate_corpus(n_sentences=20, seed=2)
+        b = generate_corpus(n_sentences=20, seed=2)
+        assert a.sentences == b.sentences
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(n_sentences=20, seed=3)
+        b = generate_corpus(n_sentences=20, seed=4)
+        assert a.sentences != b.sentences
+
+    def test_sentences_topical(self):
+        """Every base word in a sentence should come from one topic."""
+        corpus = generate_corpus(
+            n_sentences=30, misspelling_rate=0.0, plural_rate=0.0, seed=5
+        )
+        for sent in corpus.sentences:
+            topics = {corpus.topic_of(w) for w in sent}
+            topics.discard(None)
+            assert len(topics) == 1
+
+    def test_variants_present(self):
+        corpus = generate_corpus(n_sentences=50, seed=6)
+        assert corpus.variants
+        for base, variants in corpus.variants.items():
+            assert base not in variants
+
+    def test_related_words(self):
+        corpus = generate_corpus(n_sentences=10, seed=7)
+        related = corpus.related_words("dbms")
+        assert "rdbms" in related
+        assert "dbms" not in related
+        # Variants of same-topic words are related too.
+        assert any(v in related for v in corpus.variants["sql"])
+
+    def test_topic_of_variant(self):
+        corpus = generate_corpus(n_sentences=10, seed=8)
+        plural = pluralize("dbms")
+        assert corpus.topic_of(plural) == "databases" or corpus.topic_of("dbms") == "databases"
+
+    def test_vocabulary_sorted_unique(self):
+        corpus = generate_corpus(n_sentences=30, seed=9)
+        vocab = corpus.vocabulary
+        assert vocab == sorted(set(vocab))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_corpus(topics={})
+        with pytest.raises(WorkloadError):
+            generate_corpus(topics={"t": ["only"]})
+        with pytest.raises(WorkloadError):
+            generate_corpus(sentence_length=(5, 3))

@@ -1,0 +1,37 @@
+"""Unit tests for the model registry."""
+
+import pytest
+
+from repro.embedding import HashingEmbedder, ModelRegistry, default_registry
+from repro.errors import EmbeddingError
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = ModelRegistry()
+        model = HashingEmbedder(dim=8)
+        reg.register("m", model)
+        assert reg.get("m") is model
+        assert "m" in reg
+        assert reg.names() == ["m"]
+
+    def test_duplicate_rejected(self):
+        reg = ModelRegistry()
+        reg.register("m", HashingEmbedder(dim=8))
+        with pytest.raises(EmbeddingError, match="already registered"):
+            reg.register("m", HashingEmbedder(dim=8))
+
+    def test_replace(self):
+        reg = ModelRegistry()
+        reg.register("m", HashingEmbedder(dim=8))
+        bigger = HashingEmbedder(dim=16)
+        reg.register("m", bigger, replace=True)
+        assert reg.get("m") is bigger
+
+    def test_unknown_model(self):
+        reg = ModelRegistry()
+        with pytest.raises(EmbeddingError, match="unknown model"):
+            reg.get("nope")
+
+    def test_default_registry_is_singleton(self):
+        assert default_registry() is default_registry()

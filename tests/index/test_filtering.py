@@ -1,0 +1,62 @@
+"""Unit tests for pre-filter bitmap helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index import (
+    bitmap_from_indices,
+    bitmap_from_predicate,
+    bitmap_selectivity,
+    combine_and,
+)
+from repro.relational import Col
+
+
+class TestBitmapFromPredicate:
+    def test_evaluates_over_table(self, people_table):
+        bitmap = bitmap_from_predicate(people_table, Col("age") > 36)
+        assert bitmap.tolist() == [False, True, False, False, True]
+
+
+class TestBitmapFromIndices:
+    def test_basic(self):
+        bm = bitmap_from_indices(5, np.asarray([0, 3]))
+        assert bm.tolist() == [True, False, False, True, False]
+
+    def test_empty_indices(self):
+        assert not bitmap_from_indices(4, np.asarray([], dtype=np.int64)).any()
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError_):
+            bitmap_from_indices(3, np.asarray([5]))
+        with pytest.raises(IndexError_):
+            bitmap_from_indices(-1, np.asarray([0]))
+
+
+class TestCombine:
+    def test_and(self):
+        a = np.asarray([True, True, False])
+        b = np.asarray([True, False, False])
+        assert combine_and(a, b).tolist() == [True, False, False]
+
+    def test_and_does_not_mutate(self):
+        a = np.asarray([True, True])
+        combine_and(a, np.asarray([False, False]))
+        assert a.tolist() == [True, True]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(IndexError_):
+            combine_and(np.ones(2, dtype=bool), np.ones(3, dtype=bool))
+
+    def test_requires_input(self):
+        with pytest.raises(IndexError_):
+            combine_and()
+
+
+class TestSelectivity:
+    def test_fraction(self):
+        assert bitmap_selectivity(np.asarray([True, False, True, False])) == 0.5
+
+    def test_empty(self):
+        assert bitmap_selectivity(np.asarray([], dtype=bool)) == 0.0

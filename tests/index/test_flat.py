@@ -1,0 +1,94 @@
+"""Unit tests for the flat exact index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionalityError, IndexNotBuiltError
+from repro.index import FlatIndex
+from repro.vector import normalize_rows
+from repro.workloads import unit_vectors
+
+
+@pytest.fixture()
+def index():
+    idx = FlatIndex(8)
+    idx.add(unit_vectors(50, 8, seed=31))
+    return idx
+
+
+class TestBuild:
+    def test_add_normalizes(self):
+        idx = FlatIndex(4)
+        idx.add(np.full((3, 4), 5.0, dtype=np.float32))
+        assert np.allclose(np.linalg.norm(idx.vectors, axis=1), 1.0, atol=1e-5)
+
+    def test_add_accumulates(self, index):
+        index.add(unit_vectors(10, 8, seed=32))
+        assert len(index) == 60
+        assert index.stats.n_inserted == 60
+
+    def test_dim_checks(self):
+        idx = FlatIndex(4)
+        with pytest.raises(DimensionalityError):
+            idx.add(np.ones((2, 5)))
+        with pytest.raises(DimensionalityError):
+            FlatIndex(0)
+
+    def test_search_empty_raises(self):
+        with pytest.raises(IndexNotBuiltError):
+            FlatIndex(4).search(np.ones(4), 1)
+
+
+class TestSearch:
+    def test_exact_vs_numpy(self, index):
+        query = unit_vectors(1, 8, seed=33)[0]
+        result = index.search(query, 5)
+        sims = index.vectors @ query
+        expected = np.argsort(-sims, kind="stable")[:5]
+        assert result.ids.tolist() == expected.tolist()
+
+    def test_scores_descending(self, index):
+        query = unit_vectors(1, 8, seed=34)[0]
+        scores = index.search(query, 10).scores
+        assert all(scores[i] >= scores[i + 1] for i in range(len(scores) - 1))
+
+    def test_self_query_returns_self_first(self, index):
+        result = index.search(index.vectors[7], 1)
+        assert result.ids[0] == 7
+        assert result.scores[0] == pytest.approx(1.0, abs=1e-5)
+
+    def test_k_exceeds_size(self, index):
+        assert len(index.search(unit_vectors(1, 8, seed=35)[0], 200)) == 50
+
+    def test_distance_computation_counter(self, index):
+        before = index.stats.distance_computations
+        index.search(unit_vectors(1, 8, seed=36)[0], 3)
+        assert index.stats.distance_computations == before + 50
+
+    def test_batch_search(self, index):
+        queries = unit_vectors(4, 8, seed=37)
+        results = index.search_batch(queries, 2)
+        assert len(results) == 4
+        assert all(len(r) == 2 for r in results)
+
+
+class TestPreFilter:
+    def test_only_allowed_returned(self, index):
+        allowed = np.zeros(50, dtype=bool)
+        allowed[[3, 8, 20]] = True
+        result = index.search(unit_vectors(1, 8, seed=38)[0], 10, allowed=allowed)
+        assert set(result.ids.tolist()) <= {3, 8, 20}
+
+    def test_empty_filter_empty_result(self, index):
+        allowed = np.zeros(50, dtype=bool)
+        result = index.search(unit_vectors(1, 8, seed=39)[0], 5, allowed=allowed)
+        assert len(result) == 0
+
+    def test_filtered_matches_manual(self, index):
+        allowed = np.zeros(50, dtype=bool)
+        allowed[:25] = True
+        query = unit_vectors(1, 8, seed=40)[0]
+        result = index.search(query, 5, allowed=allowed)
+        sims = index.vectors[:25] @ query
+        expected = np.argsort(-sims, kind="stable")[:5]
+        assert result.ids.tolist() == expected.tolist()

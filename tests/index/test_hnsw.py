@@ -1,0 +1,159 @@
+"""Unit tests for the from-scratch HNSW index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_, IndexNotBuiltError
+from repro.index import FlatIndex, HNSWIndex
+from repro.workloads import unit_vectors
+
+DIM = 16
+
+
+@pytest.fixture(scope="module")
+def base():
+    return unit_vectors(800, DIM, seed=41)
+
+
+@pytest.fixture(scope="module")
+def hnsw(base):
+    idx = HNSWIndex(DIM, m=8, ef_construction=64, ef_search=48, seed=42)
+    idx.add(base)
+    return idx
+
+
+@pytest.fixture(scope="module")
+def flat(base):
+    idx = FlatIndex(DIM)
+    idx.add(base)
+    return idx
+
+
+class TestValidation:
+    def test_param_checks(self):
+        with pytest.raises(IndexError_):
+            HNSWIndex(DIM, m=1)
+        with pytest.raises(IndexError_):
+            HNSWIndex(DIM, ef_construction=0)
+        with pytest.raises(IndexError_):
+            HNSWIndex(DIM, ef_search=0)
+
+    def test_search_before_build(self):
+        with pytest.raises(IndexNotBuiltError):
+            HNSWIndex(DIM).search(np.ones(DIM), 1)
+
+    def test_bad_bitmap_shape(self, hnsw):
+        with pytest.raises(IndexError_, match="bitmap shape"):
+            hnsw.search(np.ones(DIM), 1, allowed=np.ones(3, dtype=bool))
+
+
+class TestStructure:
+    def test_level_sizes_decreasing(self, hnsw):
+        sizes = hnsw.level_sizes()
+        assert sizes[0] == 800
+        assert all(sizes[i] >= sizes[i + 1] for i in range(len(sizes) - 1))
+
+    def test_degree_bounds(self, hnsw):
+        for level, layer in enumerate(hnsw._links):
+            bound = hnsw.m_max0 if level == 0 else hnsw.m
+            for node, links in layer.items():
+                assert len(links) <= bound, f"node {node} level {level}"
+
+    def test_links_are_valid_ids(self, hnsw):
+        for layer in hnsw._links:
+            for links in layer.values():
+                assert all(0 <= n < 800 for n in links)
+
+    def test_describe(self, hnsw):
+        assert "M=8" in hnsw.describe()
+
+    def test_deterministic_given_seed(self, base):
+        a = HNSWIndex(DIM, m=4, ef_construction=32, seed=5)
+        a.add(base[:100])
+        b = HNSWIndex(DIM, m=4, ef_construction=32, seed=5)
+        b.add(base[:100])
+        q = unit_vectors(1, DIM, seed=6)[0]
+        assert a.search(q, 5).ids.tolist() == b.search(q, 5).ids.tolist()
+
+
+class TestSearchQuality:
+    def test_tiny_index_is_exact(self):
+        vectors = unit_vectors(10, DIM, seed=43)
+        hnsw = HNSWIndex(DIM, m=4, ef_construction=32, ef_search=16, seed=44)
+        hnsw.add(vectors)
+        flat = FlatIndex(DIM)
+        flat.add(vectors)
+        q = unit_vectors(1, DIM, seed=45)[0]
+        assert hnsw.search(q, 3).ids.tolist() == flat.search(q, 3).ids.tolist()
+
+    def test_recall_floor_vs_flat(self, hnsw, flat):
+        queries = unit_vectors(30, DIM, seed=46)
+        k = 10
+        hits = total = 0
+        for q in queries:
+            expected = set(flat.search(q, k).ids.tolist())
+            got = set(hnsw.search(q, k).ids.tolist())
+            hits += len(expected & got)
+            total += len(expected)
+        recall = hits / total
+        assert recall >= 0.8, f"HNSW recall@{k} too low: {recall:.2f}"
+
+    def test_self_query(self, hnsw, base):
+        result = hnsw.search(base[123], 1)
+        assert result.ids[0] == 123
+
+    def test_scores_descending(self, hnsw):
+        q = unit_vectors(1, DIM, seed=47)[0]
+        scores = hnsw.search(q, 10).scores
+        assert all(scores[i] >= scores[i + 1] for i in range(len(scores) - 1))
+
+    def test_higher_ef_at_least_as_good(self, base):
+        lo = HNSWIndex(DIM, m=8, ef_construction=32, ef_search=8, seed=48)
+        hi = HNSWIndex(DIM, m=8, ef_construction=128, ef_search=128, seed=48)
+        lo.add(base[:400])
+        hi.add(base[:400])
+        flat = FlatIndex(DIM)
+        flat.add(base[:400])
+        queries = unit_vectors(20, DIM, seed=49)
+        k = 5
+
+        def recall(idx):
+            hits = 0
+            for q in queries:
+                expected = set(flat.search(q, k).ids.tolist())
+                hits += len(expected & set(idx.search(q, k).ids.tolist()))
+            return hits / (k * len(queries))
+
+        assert recall(hi) >= recall(lo)
+
+
+class TestPreFilter:
+    def test_only_allowed_ids(self, hnsw):
+        allowed = np.zeros(800, dtype=bool)
+        allowed[100:200] = True
+        q = unit_vectors(1, DIM, seed=50)[0]
+        result = hnsw.search(q, 10, allowed=allowed)
+        assert len(result) > 0
+        assert all(100 <= i < 200 for i in result.ids.tolist())
+
+    def test_traversal_cost_still_paid(self, hnsw):
+        """Pre-filtering excludes results on the fly but pays traversal
+        (paper Section IV-B)."""
+        q = unit_vectors(1, DIM, seed=51)[0]
+        allowed = np.zeros(800, dtype=bool)
+        allowed[:40] = True  # 5% selectivity
+        before = hnsw.stats.distance_computations
+        hnsw.search(q, 5, allowed=allowed)
+        filtered_cost = hnsw.stats.distance_computations - before
+        before = hnsw.stats.distance_computations
+        hnsw.search(q, 5)
+        unfiltered_cost = hnsw.stats.distance_computations - before
+        assert filtered_cost >= unfiltered_cost
+
+    def test_counters_advance(self, hnsw):
+        q = unit_vectors(1, DIM, seed=52)[0]
+        probes_before = hnsw.stats.n_probes
+        hnsw.search(q, 3)
+        assert hnsw.stats.n_probes == probes_before + 1
+        assert hnsw.stats.hops > 0
+        assert hnsw.stats.build_seconds > 0

@@ -1,0 +1,142 @@
+"""Unit tests for the IVF-Flat index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_, IndexNotBuiltError
+from repro.index import FlatIndex, IVFFlatIndex, kmeans
+from repro.vector import normalize_rows
+from repro.workloads import clustered_vectors, unit_vectors
+
+DIM = 16
+
+
+@pytest.fixture(scope="module")
+def base():
+    vectors, _ = clustered_vectors(600, DIM, n_clusters=12, noise=0.15, seed=61)
+    return vectors
+
+
+@pytest.fixture(scope="module")
+def ivf(base):
+    idx = IVFFlatIndex(DIM, nlist=12, nprobe=4, seed=62)
+    idx.add(base)
+    return idx
+
+
+class TestKMeans:
+    def test_centroids_unit_norm(self, base):
+        centroids = kmeans(base, 8, rng=np.random.default_rng(63))
+        assert np.allclose(np.linalg.norm(centroids, axis=1), 1.0, atol=1e-4)
+
+    def test_clusters_capped_at_n(self):
+        data = normalize_rows(np.random.default_rng(64).standard_normal((3, 4)))
+        centroids = kmeans(data, 10, rng=np.random.default_rng(65))
+        assert centroids.shape[0] == 3
+
+    def test_invalid_clusters(self, base):
+        with pytest.raises(IndexError_):
+            kmeans(base, 0)
+
+    def test_recovers_planted_clusters(self):
+        vectors, labels = clustered_vectors(
+            300, DIM, n_clusters=4, noise=0.05, seed=66
+        )
+        centroids = kmeans(vectors, 4, rng=np.random.default_rng(67))
+        assign = np.argmax(vectors @ centroids.T, axis=1)
+        # Same-label points should mostly share an assigned centroid.
+        agreement = 0
+        for lbl in range(4):
+            members = assign[labels == lbl]
+            agreement += np.bincount(members).max()
+        # k-means may locally split one planted cluster; gross recovery is
+        # the property under test, not global optimality.
+        assert agreement / len(vectors) > 0.8
+
+
+class TestIVFIndex:
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            IVFFlatIndex(DIM, nlist=0)
+        with pytest.raises(IndexError_):
+            IVFFlatIndex(DIM, nprobe=0)
+
+    def test_search_before_build(self):
+        with pytest.raises(IndexNotBuiltError):
+            IVFFlatIndex(DIM).search(np.ones(DIM), 1)
+
+    def test_lists_partition_collection(self, ivf, base):
+        assert sum(ivf.list_sizes()) == len(base)
+
+    def test_self_query(self, ivf, base):
+        result = ivf.search(base[42], 1)
+        assert result.ids[0] == 42
+
+    def test_recall_vs_flat(self, ivf, base):
+        flat = FlatIndex(DIM)
+        flat.add(base)
+        queries = unit_vectors(25, DIM, seed=68)
+        k = 5
+        hits = 0
+        for q in queries:
+            expected = set(flat.search(q, k).ids.tolist())
+            hits += len(expected & set(ivf.search(q, k).ids.tolist()))
+        recall = hits / (k * len(queries))
+        assert recall >= 0.6, f"IVF recall too low: {recall:.2f}"
+
+    def test_full_nprobe_is_exact(self, base):
+        """Probing every list degenerates to an exhaustive scan."""
+        idx = IVFFlatIndex(DIM, nlist=8, nprobe=8, seed=69)
+        idx.add(base)
+        flat = FlatIndex(DIM)
+        flat.add(base)
+        q = unit_vectors(1, DIM, seed=70)[0]
+        assert idx.search(q, 5).ids.tolist() == flat.search(q, 5).ids.tolist()
+
+    def test_higher_nprobe_at_least_as_good(self, base):
+        narrow = IVFFlatIndex(DIM, nlist=12, nprobe=1, seed=71)
+        wide = IVFFlatIndex(DIM, nlist=12, nprobe=12, seed=71)
+        narrow.add(base)
+        wide.add(base)
+        flat = FlatIndex(DIM)
+        flat.add(base)
+        queries = unit_vectors(20, DIM, seed=72)
+        k = 5
+
+        def recall(idx):
+            hits = 0
+            for q in queries:
+                expected = set(flat.search(q, k).ids.tolist())
+                hits += len(expected & set(idx.search(q, k).ids.tolist()))
+            return hits / (k * len(queries))
+
+        assert recall(wide) >= recall(narrow)
+
+    def test_prefilter(self, ivf, base):
+        allowed = np.zeros(len(base), dtype=bool)
+        allowed[:50] = True
+        result = ivf.search(unit_vectors(1, DIM, seed=73)[0], 10, allowed=allowed)
+        assert all(i < 50 for i in result.ids.tolist())
+
+    def test_prefilter_shape_check(self, ivf):
+        with pytest.raises(IndexError_, match="bitmap"):
+            ivf.search(np.ones(DIM), 1, allowed=np.ones(3, dtype=bool))
+
+    def test_counters(self, ivf):
+        before = ivf.stats.n_probes
+        ivf.search(unit_vectors(1, DIM, seed=74)[0], 2)
+        assert ivf.stats.n_probes == before + 1
+        assert ivf.stats.build_seconds > 0
+
+    def test_works_with_index_join(self, base):
+        from repro.core import TopKCondition, index_join, tensor_join
+
+        idx = IVFFlatIndex(DIM, nlist=8, nprobe=8, seed=75)
+        idx.add(base)
+        probes = unit_vectors(20, DIM, seed=76)
+        got = index_join(probes, idx, TopKCondition(2)).pairs()
+        expected = tensor_join(probes, base, TopKCondition(2)).pairs()
+        assert len(got & expected) / len(expected) >= 0.95
+
+    def test_describe(self, ivf):
+        assert "nlist=12" in ivf.describe()

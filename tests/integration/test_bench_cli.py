@@ -1,0 +1,29 @@
+"""Unit tests for the benchmark CLI."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, find_benchmarks_dir, main
+
+
+class TestExperimentTable:
+    def test_every_figure_listed(self):
+        for fig in ("fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+                    "fig14", "fig15", "fig16", "fig17"):
+            assert fig in EXPERIMENTS
+        assert "table1" in EXPERIMENTS and "table2" in EXPERIMENTS
+
+    def test_files_exist(self):
+        bench_dir = find_benchmarks_dir()
+        for filename in EXPERIMENTS.values():
+            assert (bench_dir / filename).is_file(), filename
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,74 @@
+"""Unit tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench import FigureReport, median_time, speedup, time_call
+
+
+class TestTimeCall:
+    def test_returns_result_and_time(self):
+        result, seconds = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert seconds >= 0
+
+    def test_repeat_takes_best(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return len(calls)
+
+        result, _ = time_call(fn, repeat=3)
+        assert result == 3
+        assert len(calls) == 3
+
+    def test_invalid_repeat(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeat=0)
+
+    def test_median_time(self):
+        result, seconds = median_time(lambda: "ok", repeat=3)
+        assert result == "ok"
+        assert seconds >= 0
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(2.0, 1.0) == 2.0
+
+    def test_zero_optimized(self):
+        assert speedup(1.0, 0.0) == float("inf")
+
+
+class TestFigureReport:
+    def make(self):
+        report = FigureReport("figX", "demo", ("a", "b"))
+        report.add(1, 2.5)
+        report.add("row", 0.000123)
+        report.note("a note")
+        return report
+
+    def test_row_arity_checked(self):
+        report = FigureReport("figX", "demo", ("a", "b"))
+        with pytest.raises(ValueError):
+            report.add(1)
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "figX" in text
+        assert "demo" in text
+        assert "a note" in text
+        assert "2.5" in text
+
+    def test_float_formatting(self):
+        text = self.make().render()
+        assert "0.000123" in text
+
+    def test_save(self, tmp_path):
+        path = self.make().save(tmp_path)
+        assert path.exists()
+        assert "figX" in path.read_text()
+
+    def test_empty_report_renders(self):
+        report = FigureReport("figY", "empty", ("col",))
+        assert "figY" in report.render()

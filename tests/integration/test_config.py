@@ -1,0 +1,45 @@
+"""Unit tests for global configuration and seeding."""
+
+import numpy as np
+
+from repro.config import ReproConfig, cpu_count, get_config, rng, set_seed
+
+
+class TestStreams:
+    def test_same_stream_same_values(self):
+        a = rng("stream-a").standard_normal(4)
+        b = rng("stream-a").standard_normal(4)
+        assert np.allclose(a, b)
+
+    def test_different_streams_differ(self):
+        a = rng("stream-a").standard_normal(4)
+        b = rng("stream-b").standard_normal(4)
+        assert not np.allclose(a, b)
+
+    def test_seed_changes_streams(self):
+        original = get_config().seed
+        try:
+            set_seed(1)
+            a = rng("s").standard_normal(4)
+            set_seed(2)
+            b = rng("s").standard_normal(4)
+            assert not np.allclose(a, b)
+        finally:
+            set_seed(original)
+
+    def test_stream_seed_deterministic(self):
+        cfg = ReproConfig(seed=5)
+        assert cfg.stream_seed("x") == cfg.stream_seed("x")
+        assert cfg.stream_seed("x") != cfg.stream_seed("y")
+
+    def test_cpu_count_positive(self):
+        assert cpu_count() >= 1
+
+    def test_cpu_count_override(self):
+        cfg = get_config()
+        original = cfg.default_threads
+        try:
+            cfg.default_threads = 3
+            assert cpu_count() == 3
+        finally:
+            cfg.default_threads = original

@@ -1,0 +1,181 @@
+"""Integration tests: the paper's motivating scenarios, end to end."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ThresholdCondition,
+    TopKCondition,
+    ejoin,
+    index_join,
+    tensor_join,
+)
+from repro.embedding import EmbeddingStore, FastTextModel, HashingEmbedder, generate_corpus
+from repro.index import HNSWIndex
+from repro.query import Engine
+from repro.relational import Catalog, Col
+from repro.workloads import generate_dirty_strings, paired_relations
+
+
+class TestOnlineDataCleaning:
+    """Section II-A-2: joining dirty strings without prior cleaning."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        wl = generate_dirty_strings(n_feed=300, seed=97)
+        model = HashingEmbedder(dim=64, seed=98)
+        return wl, model
+
+    def test_top1_join_recovers_exact_and_plural(self, setup):
+        wl, model = setup
+        feed_texts = wl.feed.array("text").tolist()
+        words = wl.catalog.array("word").tolist()
+        result = ejoin(
+            feed_texts, words, TopKCondition(1), model=model, strategy="tensor"
+        )
+        best = dict(zip(result.left_ids.tolist(), result.right_ids.tolist()))
+        checked = hits = 0
+        for feed_id, kind in wl.kinds.items():
+            if kind in ("exact", "plural"):
+                checked += 1
+                if best[feed_id] == wl.truth[feed_id]:
+                    hits += 1
+        assert checked > 0
+        assert hits / checked >= 0.9, f"integration recall {hits}/{checked}"
+
+    def test_misspellings_mostly_recovered(self, setup):
+        wl, model = setup
+        feed_texts = wl.feed.array("text").tolist()
+        words = wl.catalog.array("word").tolist()
+        result = ejoin(
+            feed_texts, words, TopKCondition(1), model=model, strategy="tensor"
+        )
+        best = dict(zip(result.left_ids.tolist(), result.right_ids.tolist()))
+        misspelled = [f for f, k in wl.kinds.items() if k == "misspelled"]
+        hits = sum(1 for f in misspelled if best[f] == wl.truth[f])
+        # Untrained subword hashing: most single-edit typos land on target.
+        assert hits / max(len(misspelled), 1) >= 0.6
+
+
+class TestNearDuplicateDetection:
+    """Section II-A-3: multi-modal near-duplicate detection over vectors."""
+
+    def test_threshold_join_finds_planted_duplicates(self):
+        left, right, truth = paired_relations(
+            200, 400, 32, overlap=0.15, noise=0.02, seed=99
+        )
+        result = tensor_join(left, right, ThresholdCondition(0.95))
+        found = result.pairs()
+        assert truth <= found
+        # Random non-duplicates at 32-D virtually never reach 0.95.
+        assert len(found - truth) <= 2
+
+    def test_index_join_agrees_with_scan(self):
+        left, right, truth = paired_relations(
+            100, 500, 32, overlap=0.2, noise=0.02, seed=100
+        )
+        index = HNSWIndex(32, m=8, ef_construction=64, ef_search=48, seed=101)
+        index.add(right)
+        scan = tensor_join(left, right, TopKCondition(1))
+        probe = index_join(left, index, TopKCondition(1))
+        agreement = len(scan.pairs() & probe.pairs()) / len(scan.pairs())
+        assert agreement >= 0.9
+
+
+class TestDeclarativeHybridQuery:
+    """Figure 5's query: relational date filter + similarity join,
+    declaratively specified, physically optimized."""
+
+    @pytest.fixture(scope="class")
+    def engine(self):
+        wl = generate_dirty_strings(n_feed=250, seed=102)
+        catalog = Catalog()
+        catalog.register("words", wl.catalog)
+        catalog.register("feed", wl.feed)
+        engine = Engine(catalog)
+        engine.models.register("strings", HashingEmbedder(dim=48, seed=103))
+        return engine
+
+    def test_query_with_date_filter(self, engine):
+        out = (
+            engine.query("feed")
+            .where(Col("day") > date(2023, 7, 1))
+            .ejoin("words", left_on="text", right_on="word", model="strings",
+                   top_k=1)
+            .select(["text", "word", "similarity"])
+            .execute()
+        )
+        n_after = (
+            engine.query("feed").where(Col("day") > date(2023, 7, 1)).execute()
+        ).num_rows
+        assert out.num_rows == n_after
+
+    def test_filter_reduces_model_cost(self, engine):
+        """Selection pushdown before embedding: only surviving tuples are
+        embedded (the Figure 1 -> Figure 4 improvement)."""
+        model = HashingEmbedder(dim=48, seed=104)
+        engine.models.register("counting", model, replace=False)
+        (
+            engine.query("feed")
+            .where(Col("views") > 9000)  # very selective
+            .ejoin("words", left_on="text", right_on="word", model="counting",
+                   top_k=1)
+            .execute()
+        )
+        n_selected = (
+            engine.query("feed").where(Col("views") > 9000).execute().num_rows
+        )
+        n_words = engine.catalog.get("words").num_rows
+        # Embedded distinct strings <= selected feed rows + all words.
+        assert model.usage.calls <= n_selected + n_words
+
+    def test_scan_and_index_paths_agree(self, engine):
+        model = engine.models.get("strings")
+        words = engine.catalog.get("words").array("word").tolist()
+        store = EmbeddingStore(model)
+        index = HNSWIndex(model.dim, m=8, ef_construction=96, ef_search=96, seed=105)
+        index.add(store.embed_items(words))
+        engine.register_index("words", "word", index)
+
+        base = engine.query("feed").ejoin(
+            "words", left_on="text", right_on="word", model="strings", top_k=1
+        )
+        scan_result = base.execute()  # auto chooses scan here
+
+        forced = engine.query("feed").ejoin(
+            "words", left_on="text", right_on="word", model="strings",
+            top_k=1, strategy="index",
+        )
+        index_result = forced.execute()
+        assert forced.last_report.strategies[0].startswith("index")
+
+        pairs = lambda t: set(zip(t.array("text").tolist(), t.array("word").tolist()))
+        agreement = len(pairs(scan_result) & pairs(index_result)) / len(
+            pairs(scan_result)
+        )
+        assert agreement >= 0.85
+
+
+class TestSemanticSimilarityWithTrainedModel:
+    """Section VI-A functionality with the trained subword model."""
+
+    def test_synonym_join(self):
+        corpus = generate_corpus(
+            n_sentences=700,
+            sentence_length=(4, 7),
+            topics={
+                "cooking": ["barbecue", "bbq", "grilling", "roasting", "frying"],
+                "music": ["guitar", "piano", "violin", "drums", "melody"],
+            },
+            seed=106,
+        )
+        model = FastTextModel(dim=32, window=3, negatives=3, seed=107)
+        model.fit(corpus.sentences, epochs=2)
+        left = ["barbecue", "guitar"]
+        right = ["bbq", "grilling", "piano", "violin"]
+        result = ejoin(left, right, TopKCondition(1), model=model, strategy="tensor")
+        best = dict(zip(result.left_ids.tolist(), result.right_ids.tolist()))
+        assert best[0] in (0, 1)  # barbecue -> bbq or grilling
+        assert best[1] in (2, 3)  # guitar -> piano or violin

@@ -1,0 +1,84 @@
+"""Property-based tests for embedding substrate invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import EmbeddingStore, HashingEmbedder, pluralize
+
+words = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=12,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return HashingEmbedder(dim=24, seed=55)
+
+
+class TestEmbedderProperties:
+    @given(word=words)
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, word):
+        model = HashingEmbedder(dim=16, seed=56)
+        assert np.allclose(model.embed(word), model.embed(word))
+
+    @given(word=words)
+    @settings(max_examples=100, deadline=None)
+    def test_unit_norm_output(self, word):
+        model = HashingEmbedder(dim=16, seed=56)
+        vec = model.embed(word)
+        assert np.linalg.norm(vec) == pytest.approx(1.0, abs=1e-4)
+
+    @given(
+        word=st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=4,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_plural_closer_than_scrambled(self, word):
+        """A word (long enough to have shared n-grams) is more similar to
+        its plural than to an unrelated token."""
+        model = HashingEmbedder(dim=64, seed=57)
+        plural = pluralize(word)
+        unrelated = "zq" + word[::-1] + "xv"
+        if plural == unrelated or word == word[::-1]:
+            return
+        base = model.embed(word)
+        assert float(base @ model.embed(plural)) >= float(
+            base @ model.embed(unrelated)
+        ) - 0.05
+
+
+class TestStoreProperties:
+    @given(items=st.lists(words, min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_model_calls_equal_unique_items(self, items):
+        """The prefetch bound: M is paid once per distinct item."""
+        model = HashingEmbedder(dim=16, seed=58)
+        store = EmbeddingStore(model)
+        store.add_items(items)
+        store.add_items(items)  # repeat: no new calls
+        assert model.usage.calls == len(set(items))
+
+    @given(items=st.lists(words, min_size=1, max_size=20, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_id_decode_roundtrip(self, items):
+        store = EmbeddingStore(HashingEmbedder(dim=16, seed=59))
+        ids = store.add_items(items)
+        for item, item_id in zip(items, ids.tolist()):
+            assert store.decode_id(item_id) == item
+            assert store.id_of(item) == item_id
+
+    @given(items=st.lists(words, min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_embed_items_consistent(self, items):
+        store = EmbeddingStore(HashingEmbedder(dim=16, seed=60))
+        first = store.embed_items(items)
+        second = store.embed_items(items)
+        assert np.allclose(first, second)

@@ -1,0 +1,66 @@
+"""Property-based tests for the E-selection operator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import ThresholdCondition, TopKCondition, eselect, tensor_join
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False,
+    width=32,
+)
+
+
+def relation(max_rows=20, dim=5):
+    return st.integers(min_value=1, max_value=max_rows).flatmap(
+        lambda n: arrays(np.float32, (n, dim), elements=finite_floats)
+    )
+
+
+query_vectors = arrays(np.float32, (5,), elements=finite_floats)
+thresholds = st.floats(min_value=-0.99, max_value=0.99)
+
+
+class TestESelectionProperties:
+    @given(rel=relation(), q=query_vectors, t=thresholds)
+    @settings(max_examples=60, deadline=None)
+    def test_equivalent_to_width_one_join(self, rel, q, t):
+        """The E-Selection/E-join algebraic link: selecting from R with
+        query q equals joining {q} against R."""
+        sel = eselect(rel, q, ThresholdCondition(t))
+        join = tensor_join(q[None, :], rel, ThresholdCondition(t))
+        assert set(sel.ids.tolist()) == set(join.right_ids.tolist())
+
+    @given(rel=relation(), q=query_vectors, t=thresholds)
+    @settings(max_examples=60, deadline=None)
+    def test_scores_respect_threshold(self, rel, q, t):
+        sel = eselect(rel, q, ThresholdCondition(t))
+        assert (sel.scores >= t - 1e-4).all()
+
+    @given(rel=relation(), q=query_vectors, k=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_topk_cardinality(self, rel, q, k):
+        sel = eselect(rel, q, TopKCondition(k))
+        assert len(sel) == min(k, rel.shape[0])
+
+    @given(rel=relation(), q=query_vectors, k=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_topk_scores_descending(self, rel, q, k):
+        sel = eselect(rel, q, TopKCondition(k))
+        scores = sel.scores.tolist()
+        assert scores == sorted(scores, reverse=True)
+
+    @given(
+        rel=relation(),
+        q=query_vectors,
+        t1=st.floats(min_value=-0.9, max_value=0.0),
+        t2=st.floats(min_value=0.01, max_value=0.9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_monotonicity(self, rel, q, t1, t2):
+        """A stricter threshold selects a subset."""
+        loose = eselect(rel, q, ThresholdCondition(t1))
+        strict = eselect(rel, q, ThresholdCondition(t2))
+        assert set(strict.ids.tolist()) <= set(loose.ids.tolist())

@@ -1,0 +1,68 @@
+"""Property-based tests for relational substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import Col, DataType, Field, Schema, Table
+
+values = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=40
+)
+
+
+def make_table(ints):
+    schema = Schema.of(Field("x", DataType.INT64), Field("pos", DataType.INT64))
+    return Table.from_arrays(
+        schema,
+        {"x": np.asarray(ints), "pos": np.arange(len(ints), dtype=np.int64)},
+    )
+
+
+class TestTableProperties:
+    @given(ints=values)
+    @settings(max_examples=80, deadline=None)
+    def test_mask_then_concat_partition(self, ints):
+        """mask(p) + mask(~p) partitions the table."""
+        t = make_table(ints)
+        bitmap = np.asarray(ints) > 0
+        kept = t.mask(bitmap)
+        dropped = t.mask(~bitmap)
+        assert kept.num_rows + dropped.num_rows == t.num_rows
+        merged = set(kept.array("pos").tolist()) | set(
+            dropped.array("pos").tolist()
+        )
+        assert merged == set(range(t.num_rows))
+
+    @given(ints=values, seed=st.integers(min_value=0, max_value=99))
+    @settings(max_examples=80, deadline=None)
+    def test_take_permutation_roundtrip(self, ints, seed):
+        t = make_table(ints)
+        perm = np.random.default_rng(seed).permutation(t.num_rows)
+        inverse = np.argsort(perm)
+        roundtrip = t.take(perm).take(inverse)
+        assert roundtrip.array("x").tolist() == t.array("x").tolist()
+
+    @given(ints=values)
+    @settings(max_examples=80, deadline=None)
+    def test_sort_is_ordered_permutation(self, ints):
+        t = make_table(ints).sort_by("x")
+        xs = t.array("x").tolist()
+        assert xs == sorted(ints)
+        assert sorted(t.array("pos").tolist()) == list(range(len(ints)))
+
+    @given(ints=values, threshold=st.integers(min_value=-1000, max_value=1000))
+    @settings(max_examples=80, deadline=None)
+    def test_filter_complement(self, ints, threshold):
+        t = make_table(ints)
+        pred = Col("x") > threshold
+        bitmap = pred.evaluate(t)
+        negated = (~pred).evaluate(t)
+        assert (bitmap ^ negated).all()
+
+    @given(ints=values)
+    @settings(max_examples=50, deadline=None)
+    def test_to_dicts_roundtrip(self, ints):
+        t = make_table(ints)
+        rebuilt = Table.from_dicts(t.schema, t.to_dicts())
+        assert rebuilt.array("x").tolist() == t.array("x").tolist()

@@ -1,0 +1,58 @@
+"""Property-based tests for top-k selection."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.vector import top_k_indices, top_k_per_row
+
+scores_1d = st.integers(min_value=1, max_value=50).flatmap(
+    lambda n: arrays(
+        np.float64,
+        (n,),
+        elements=st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+    )
+)
+
+
+class TestTopKProperties:
+    @given(scores=scores_1d, k=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_stable_argsort(self, scores, k):
+        got = top_k_indices(scores, k)
+        expected = np.argsort(-scores, kind="stable")[: max(k, 0)]
+        assert got.tolist() == expected.tolist()
+
+    @given(scores=scores_1d, k=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_returned_scores_dominate_rest(self, scores, k):
+        got = top_k_indices(scores, k)
+        chosen = set(got.tolist())
+        if len(chosen) < len(scores):
+            worst_chosen = min(scores[i] for i in chosen)
+            best_rest = max(
+                scores[i] for i in range(len(scores)) if i not in chosen
+            )
+            assert worst_chosen >= best_rest
+
+    @given(scores=scores_1d)
+    @settings(max_examples=50, deadline=None)
+    def test_unique_indices(self, scores):
+        got = top_k_indices(scores, len(scores))
+        assert len(set(got.tolist())) == len(scores)
+
+    @given(
+        m=st.integers(min_value=1, max_value=8),
+        n=st.integers(min_value=1, max_value=8),
+        k=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_per_row_consistent_with_1d(self, m, n, k, seed):
+        matrix = np.random.default_rng(seed).standard_normal((m, n))
+        rows = top_k_per_row(matrix, k)
+        for i in range(m):
+            assert rows[i].tolist() == top_k_indices(matrix[i], k).tolist()

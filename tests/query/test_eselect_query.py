@@ -1,0 +1,125 @@
+"""Tests for the declarative E-selection (esimilar) query path."""
+
+import pytest
+
+from repro.algebra import ESelectNode, FilterNode, Optimizer, ScanNode
+from repro.algebra.rules import PushFilterBelowESelect
+from repro.core import ThresholdCondition, TopKCondition
+from repro.embedding import HashingEmbedder
+from repro.errors import PlanError
+from repro.query import Engine
+from repro.relational import Catalog, Col
+from repro.workloads import generate_dirty_strings
+
+
+@pytest.fixture()
+def engine():
+    wl = generate_dirty_strings(n_feed=120, seed=201)
+    catalog = Catalog()
+    catalog.register("feed", wl.feed)
+    eng = Engine(catalog)
+    eng.models.register("hash", HashingEmbedder(dim=32, seed=202))
+    return eng
+
+
+class TestBuilder:
+    def test_condition_required(self, engine):
+        with pytest.raises(PlanError, match="exactly one"):
+            engine.query("feed").esimilar("text", "barbecue", model="hash")
+
+    def test_topk_execution(self, engine):
+        out = (
+            engine.query("feed")
+            .esimilar("text", "dbms", model="hash", top_k=5)
+            .execute()
+        )
+        assert out.num_rows == 5
+        assert "similarity" in out.schema
+        sims = out.array("similarity").tolist()
+        assert sims == sorted(sims, reverse=True)
+
+    def test_threshold_execution(self, engine):
+        out = (
+            engine.query("feed")
+            .esimilar("text", "dbms", model="hash", threshold=0.99)
+            .execute()
+        )
+        # Only literal "dbms" rows survive a ~exact threshold.
+        assert set(out.array("text").tolist()) <= {"dbms"}
+
+    def test_custom_score_column(self, engine):
+        out = (
+            engine.query("feed")
+            .esimilar("text", "sql", model="hash", top_k=3, score_column="cos")
+            .execute()
+        )
+        assert "cos" in out.schema
+
+    def test_composes_with_relational_ops(self, engine):
+        out = (
+            engine.query("feed")
+            .where(Col("views") > 100)
+            .esimilar("text", "guitar", model="hash", top_k=4)
+            .select(["text", "views", "similarity"])
+            .execute()
+        )
+        assert out.num_rows <= 4
+        assert (out.array("views") > 100).all()
+
+    def test_strategy_reported(self, engine):
+        q = engine.query("feed").esimilar("text", "piano", model="hash", top_k=2)
+        q.execute()
+        assert q.last_report.strategies == ["eselect/scan"]
+
+
+class TestPushdownRule:
+    def test_threshold_filter_commutes(self):
+        node = FilterNode(
+            ESelectNode(
+                ScanNode("t"), "text", "q", "m", ThresholdCondition(0.5)
+            ),
+            Col("views") > 10,
+        )
+        rewritten = PushFilterBelowESelect().apply(node)
+        assert isinstance(rewritten, ESelectNode)
+        assert isinstance(rewritten.child, FilterNode)
+
+    def test_score_predicate_blocks_pushdown(self):
+        node = FilterNode(
+            ESelectNode(
+                ScanNode("t"), "text", "q", "m", ThresholdCondition(0.5)
+            ),
+            Col("similarity") > 0.8,
+        )
+        assert PushFilterBelowESelect().apply(node) is None
+
+    def test_topk_blocks_pushdown(self):
+        """Top-k depends on the surviving set; filters do not commute."""
+        node = FilterNode(
+            ESelectNode(ScanNode("t"), "text", "q", "m", TopKCondition(3)),
+            Col("views") > 10,
+        )
+        assert PushFilterBelowESelect().apply(node) is None
+
+    def test_pushdown_equivalence_on_data(self, engine):
+        """Pushed and unpushed plans must produce identical results."""
+        base = engine.query("feed").esimilar(
+            "text", "dbms", model="hash", threshold=0.3
+        ).where(Col("views") > 3000)
+        optimized = base.execute(optimize=True)
+        unoptimized = base.execute(optimize=False)
+        key = lambda t: sorted(
+            zip(t.array("text").tolist(), t.array("views").tolist())
+        )
+        assert key(optimized) == key(unoptimized)
+
+    def test_optimizer_applies_rule_end_to_end(self, engine):
+        plan = (
+            engine.query("feed")
+            .esimilar("text", "dbms", model="hash", threshold=0.3)
+            .where(Col("views") > 3000)
+            .optimized_plan()
+        )
+        # Filter has been pushed below the E-selection.
+        assert isinstance(plan, ESelectNode)
+        assert isinstance(plan.child, FilterNode)

@@ -1,0 +1,147 @@
+"""Unit tests for the streaming E-join physical operator."""
+
+import numpy as np
+import pytest
+
+from repro.core import ThresholdCondition, TopKCondition, tensor_join
+from repro.embedding import HashingEmbedder
+from repro.errors import SchemaError
+from repro.relational import Col, DataType, Field, Schema, Table
+from repro.relational.operators import EJoinOperator, Filter, Scan
+from repro.workloads import generate_dirty_strings, unit_vectors
+
+
+@pytest.fixture()
+def tables():
+    wl = generate_dirty_strings(n_feed=90, seed=301)
+    return wl.feed, wl.catalog
+
+
+@pytest.fixture()
+def model():
+    return HashingEmbedder(dim=24, seed=302)
+
+
+class TestStreamingEJoin:
+    def test_matches_bulk_tensor_join(self, tables, model):
+        feed, words = tables
+        op = EJoinOperator(
+            Scan(feed, batch_size=16),
+            Scan(words),
+            "text",
+            "word",
+            model,
+            TopKCondition(1),
+        )
+        out = op.execute()
+        bulk = tensor_join(
+            feed.array("text").tolist(),
+            words.array("word").tolist(),
+            TopKCondition(1),
+            model=HashingEmbedder(dim=24, seed=302),
+        )
+        got = set(zip(out.array("text").tolist(), out.array("word").tolist()))
+        texts = feed.array("text").tolist()
+        vocab = words.array("word").tolist()
+        expected = {
+            (texts[l], vocab[r])
+            for l, r in zip(bulk.left_ids.tolist(), bulk.right_ids.tolist())
+        }
+        assert got == expected
+
+    def test_batch_size_invariance(self, tables, model):
+        feed, words = tables
+        results = []
+        for bs in (7, 32, 1000):
+            op = EJoinOperator(
+                Scan(feed, batch_size=bs),
+                Scan(words),
+                "text",
+                "word",
+                model,
+                ThresholdCondition(0.9),
+            )
+            out = op.execute()
+            results.append(
+                sorted(zip(out.array("text").tolist(), out.array("word").tolist()))
+            )
+        assert results[0] == results[1] == results[2]
+
+    def test_embed_once_across_batches(self, tables):
+        """The store deduplicates across streamed batches: model calls stay
+        linear in distinct strings."""
+        feed, words = tables
+        model = HashingEmbedder(dim=24, seed=303)
+        op = EJoinOperator(
+            Scan(feed, batch_size=8),
+            Scan(words),
+            "text",
+            "word",
+            model,
+            TopKCondition(1),
+        )
+        op.execute()
+        distinct = len(set(feed.array("text").tolist()) | set(words.array("word").tolist()))
+        assert model.usage.calls == distinct
+
+    def test_score_column_present_and_valid(self, tables, model):
+        feed, words = tables
+        op = EJoinOperator(
+            Scan(feed), Scan(words), "text", "word", model,
+            ThresholdCondition(0.5),
+        )
+        out = op.execute()
+        assert (out.array("similarity") >= 0.5 - 1e-4).all()
+
+    def test_composes_with_filter(self, tables, model):
+        feed, words = tables
+        op = EJoinOperator(
+            Filter(Scan(feed), Col("views") > 5000),
+            Scan(words),
+            "text",
+            "word",
+            model,
+            TopKCondition(1),
+        )
+        out = op.execute()
+        assert (out.array("views") > 5000).all()
+
+    def test_tensor_column_inputs(self, model):
+        schema = Schema.of(
+            Field("id", DataType.INT64), Field("vec", DataType.TENSOR, dim=8)
+        )
+        left = Table.from_arrays(
+            schema,
+            {"id": np.arange(10), "vec": unit_vectors(10, 8, seed=304)},
+        )
+        right = Table.from_arrays(
+            schema,
+            {"id": np.arange(15), "vec": unit_vectors(15, 8, seed=305)},
+        )
+        op = EJoinOperator(
+            Scan(left), Scan(right), "vec", "vec", model, TopKCondition(2)
+        )
+        out = op.execute()
+        assert out.num_rows == 20  # 10 left rows x top-2
+
+    def test_score_column_collision(self, tables, model):
+        feed, words = tables
+        with pytest.raises(SchemaError, match="collides"):
+            EJoinOperator(
+                Scan(feed), Scan(words), "text", "word", model,
+                TopKCondition(1), score_column="text",
+            )
+
+    def test_unknown_columns_rejected(self, tables, model):
+        feed, words = tables
+        with pytest.raises(SchemaError):
+            EJoinOperator(
+                Scan(feed), Scan(words), "nope", "word", model, TopKCondition(1)
+            )
+
+    def test_explain(self, tables, model):
+        feed, words = tables
+        op = EJoinOperator(
+            Scan(feed), Scan(words), "text", "word", model, TopKCondition(1)
+        )
+        assert "EJoinOperator" in op.explain()

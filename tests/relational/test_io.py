@@ -1,0 +1,100 @@
+"""Unit tests for table persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import DataType, Field, Schema, Table
+from repro.relational.io import (
+    load_table,
+    save_table,
+    schema_from_json,
+    schema_to_json,
+)
+from repro.workloads import unit_vectors
+
+
+@pytest.fixture()
+def mixed_table():
+    schema = Schema.of(
+        Field("id", DataType.INT64),
+        Field("name", DataType.STRING),
+        Field("score", DataType.FLOAT64),
+        Field("day", DataType.DATE),
+        Field("vec", DataType.TENSOR, dim=6),
+    )
+    return Table.from_arrays(
+        schema,
+        {
+            "id": np.arange(10, dtype=np.int64),
+            "name": [f"row-{i}" for i in range(10)],
+            "score": np.linspace(0, 1, 10),
+            "day": np.arange(19000, 19010, dtype=np.int64),
+            "vec": unit_vectors(10, 6, seed=501),
+        },
+    )
+
+
+class TestSchemaJson:
+    def test_roundtrip(self, mixed_table):
+        payload = schema_to_json(mixed_table.schema)
+        assert schema_from_json(payload) == mixed_table.schema
+
+    def test_malformed_payload(self):
+        with pytest.raises(SchemaError):
+            schema_from_json("{}")
+        with pytest.raises(SchemaError):
+            schema_from_json('{"fields": [{"name": "x", "dtype": "nope"}]}')
+
+
+class TestTableRoundTrip:
+    def test_full_roundtrip(self, mixed_table, tmp_path):
+        path = save_table(mixed_table, tmp_path / "t")
+        loaded = load_table(path)
+        assert loaded.schema == mixed_table.schema
+        assert loaded.array("id").tolist() == mixed_table.array("id").tolist()
+        assert loaded.array("name").tolist() == mixed_table.array("name").tolist()
+        assert np.allclose(loaded.array("vec"), mixed_table.array("vec"))
+        assert loaded.array("day").tolist() == mixed_table.array("day").tolist()
+
+    def test_suffix_added(self, mixed_table, tmp_path):
+        path = save_table(mixed_table, tmp_path / "plain")
+        assert path.suffix == ".npz"
+
+    def test_load_by_basename(self, mixed_table, tmp_path):
+        save_table(mixed_table, tmp_path / "t")
+        loaded = load_table(tmp_path / "t")
+        assert loaded.num_rows == 10
+
+    def test_empty_table(self, mixed_table, tmp_path):
+        empty = mixed_table.head(0)
+        path = save_table(empty, tmp_path / "empty")
+        loaded = load_table(path)
+        assert loaded.num_rows == 0
+        assert loaded.schema == empty.schema
+
+    def test_not_an_archive(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, x=np.ones(3))
+        with pytest.raises(SchemaError, match="not a repro table"):
+            load_table(bogus)
+
+    def test_reserved_column_name(self, tmp_path):
+        schema = Schema.of(Field("__schema__", DataType.INT64))
+        table = Table.from_arrays(schema, {"__schema__": np.ones(2, dtype=np.int64)})
+        with pytest.raises(SchemaError, match="reserved"):
+            save_table(table, tmp_path / "bad")
+
+    def test_joinable_after_roundtrip(self, mixed_table, tmp_path):
+        """Persisted tensor columns feed the E-join unchanged."""
+        from repro.core import TopKCondition, tensor_join
+
+        path = save_table(mixed_table, tmp_path / "t")
+        loaded = load_table(path)
+        before = tensor_join(
+            mixed_table.array("vec"), mixed_table.array("vec"), TopKCondition(2)
+        )
+        after = tensor_join(
+            loaded.array("vec"), loaded.array("vec"), TopKCondition(2)
+        )
+        assert before.pairs() == after.pairs()

@@ -1,0 +1,226 @@
+"""Unit tests for physical relational operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExpressionError, SchemaError, TypeMismatchError
+from repro.relational import Col, DataType, Field, Schema, Table
+from repro.relational.operators import (
+    AggSpec,
+    Aggregate,
+    Filter,
+    HashJoin,
+    Limit,
+    NestedLoopJoin,
+    Project,
+    Scan,
+    Sort,
+)
+
+
+@pytest.fixture()
+def orders() -> Table:
+    schema = Schema.of(
+        Field("order_id", DataType.INT64),
+        Field("customer", DataType.INT64),
+        Field("amount", DataType.FLOAT64),
+    )
+    return Table.from_arrays(
+        schema,
+        {
+            "order_id": np.arange(8),
+            "customer": np.asarray([1, 2, 1, 3, 2, 1, 3, 9]),
+            "amount": np.asarray([10.0, 20.0, 5.0, 7.5, 2.5, 40.0, 1.0, 99.0]),
+        },
+    )
+
+
+@pytest.fixture()
+def customers() -> Table:
+    schema = Schema.of(
+        Field("customer", DataType.INT64),
+        Field("cname", DataType.STRING),
+    )
+    return Table.from_arrays(
+        schema, {"customer": np.asarray([1, 2, 3]), "cname": ["x", "y", "z"]}
+    )
+
+
+class TestScan:
+    def test_full_scan(self, orders):
+        assert Scan(orders).execute().num_rows == 8
+
+    def test_batching(self, orders):
+        scan = Scan(orders, batch_size=3)
+        batches = list(scan.batches())
+        assert [b.num_rows for b in batches] == [3, 3, 2]
+        assert scan.stats.batches == 3
+
+    def test_invalid_batch_size(self, orders):
+        with pytest.raises(ValueError):
+            Scan(orders, batch_size=0)
+
+    def test_explain(self, orders):
+        assert "Scan(rows=8" in Scan(orders).explain()
+
+
+class TestFilter:
+    def test_filter_rows(self, orders):
+        op = Filter(Scan(orders), Col("amount") > 9)
+        out = op.execute()
+        assert out.num_rows == 4
+        assert op.stats.rows_in == 8
+        assert op.stats.rows_out == 4
+
+    def test_filter_all_out(self, orders):
+        out = Filter(Scan(orders), Col("amount") > 1000).execute()
+        assert out.num_rows == 0
+        # Schema is preserved even for empty results.
+        assert out.schema.names == orders.schema.names
+
+    def test_filter_rejects_non_boolean(self, orders):
+        with pytest.raises(ExpressionError):
+            Filter(Scan(orders), Col("amount") + 1).execute()
+
+    def test_filter_across_batches(self, orders):
+        out = Filter(Scan(orders, batch_size=2), Col("customer") == 1).execute()
+        assert out.array("order_id").tolist() == [0, 2, 5]
+
+
+class TestProject:
+    def test_select_columns(self, orders):
+        out = Project(Scan(orders), ["amount"]).execute()
+        assert out.schema.names == ("amount",)
+
+    def test_computed_column(self, orders):
+        out = Project(
+            Scan(orders), ["order_id"], computed={"double": Col("amount") * 2}
+        ).execute()
+        assert out.array("double")[1] == 40.0
+
+    def test_computed_name_collision(self, orders):
+        with pytest.raises(SchemaError, match="collide"):
+            Project(Scan(orders), ["amount"], computed={"amount": Col("amount")})
+
+
+class TestHashJoin:
+    def test_matches_expected_pairs(self, orders, customers):
+        join = HashJoin(Scan(orders), Scan(customers), "customer", "customer")
+        out = join.execute()
+        # customer 9 has no match; inner join drops it.
+        assert out.num_rows == 7
+        assert set(out.schema.names) >= {"order_id", "cname"}
+
+    def test_overlapping_names_prefixed(self, orders, customers):
+        out = HashJoin(
+            Scan(orders), Scan(customers), "customer", "customer"
+        ).execute()
+        assert "l_customer" in out.schema and "r_customer" in out.schema
+
+    def test_tensor_key_rejected(self):
+        schema = Schema.of(Field("v", DataType.TENSOR, dim=2))
+        t = Table.from_arrays(schema, {"v": np.zeros((2, 2))})
+        with pytest.raises(TypeMismatchError, match="E-join"):
+            HashJoin(Scan(t), Scan(t), "v", "v")
+
+    def test_agrees_with_nlj(self, orders, customers):
+        hj = HashJoin(
+            Scan(orders), Scan(customers), "customer", "customer"
+        ).execute()
+        nlj = NestedLoopJoin(
+            Scan(orders),
+            Scan(customers),
+            lambda pairs: pairs.array("l_customer") == pairs.array("r_customer"),
+        ).execute()
+        key = lambda t: sorted(
+            zip(t.array("order_id").tolist(), t.array("cname").tolist())
+        )
+        assert key(hj) == key(nlj)
+
+
+class TestNestedLoopJoin:
+    def test_theta_join(self, orders, customers):
+        out = NestedLoopJoin(
+            Scan(orders),
+            Scan(customers),
+            lambda pairs: pairs.array("amount") > 20,
+        ).execute()
+        # 2 orders above 20, joined with all 3 customers.
+        assert out.num_rows == 6
+
+    def test_empty_inner(self, orders, customers):
+        out = NestedLoopJoin(
+            Scan(orders),
+            Scan(customers.head(0)),
+            lambda pairs: np.ones(pairs.num_rows, dtype=bool),
+        ).execute()
+        assert out.num_rows == 0
+
+
+class TestAggregate:
+    def test_group_by_sum(self, orders):
+        out = Aggregate(
+            Scan(orders),
+            ["customer"],
+            [AggSpec("sum", "amount", "total"), AggSpec("count", None, "n")],
+        ).execute()
+        rows = {r["customer"]: r for r in out.to_dicts()}
+        assert rows[1]["total"] == 55.0
+        assert rows[1]["n"] == 3
+
+    def test_global_aggregate(self, orders):
+        out = Aggregate(
+            Scan(orders), [], [AggSpec("max", "amount", "mx")]
+        ).execute()
+        assert out.array("mx")[0] == 99.0
+
+    def test_mean_min(self, orders):
+        out = Aggregate(
+            Scan(orders),
+            [],
+            [AggSpec("mean", "amount", "avg"), AggSpec("min", "amount", "mn")],
+        ).execute()
+        assert out.array("mn")[0] == 1.0
+        assert out.array("avg")[0] == pytest.approx(np.mean(orders.array("amount")))
+
+    def test_unknown_agg_rejected(self):
+        with pytest.raises(ExpressionError):
+            AggSpec("median", "x", "m")
+
+    def test_count_star_only(self):
+        with pytest.raises(ExpressionError, match="requires a column"):
+            AggSpec("sum", None, "s")
+
+    def test_requires_aggregates(self, orders):
+        with pytest.raises(SchemaError):
+            Aggregate(Scan(orders), ["customer"], [])
+
+
+class TestSortLimit:
+    def test_sort(self, orders):
+        out = Sort(Scan(orders), "amount").execute()
+        amounts = out.array("amount").tolist()
+        assert amounts == sorted(amounts)
+
+    def test_sort_unknown_key(self, orders):
+        with pytest.raises(SchemaError):
+            Sort(Scan(orders), "nope")
+
+    def test_limit(self, orders):
+        assert Limit(Scan(orders, batch_size=3), 5).execute().num_rows == 5
+
+    def test_limit_zero(self, orders):
+        assert Limit(Scan(orders), 0).execute().num_rows == 0
+
+    def test_limit_negative(self, orders):
+        with pytest.raises(ValueError):
+            Limit(Scan(orders), -1)
+
+    def test_composed_pipeline(self, orders):
+        plan = Limit(
+            Sort(Filter(Scan(orders), Col("amount") > 2), "amount", descending=True),
+            2,
+        )
+        out = plan.execute()
+        assert out.array("amount").tolist() == [99.0, 40.0]
+        assert "Sort" in plan.explain() and "Filter" in plan.explain()

@@ -1,0 +1,118 @@
+"""Unit tests for schema definitions."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import DataType, Field, Schema
+
+
+class TestField:
+    def test_basic_field(self):
+        f = Field("x", DataType.INT64)
+        assert f.name == "x"
+        assert f.dim == 0
+
+    def test_tensor_field_requires_dim(self):
+        with pytest.raises(SchemaError, match="positive dim"):
+            Field("v", DataType.TENSOR)
+
+    def test_tensor_field_with_dim(self):
+        f = Field("v", DataType.TENSOR, dim=32)
+        assert f.dim == 32
+
+    def test_non_tensor_rejects_dim(self):
+        with pytest.raises(SchemaError, match="must not declare dim"):
+            Field("x", DataType.INT64, dim=4)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty"):
+            Field("", DataType.INT64)
+
+    def test_numpy_dtype_mapping(self):
+        assert Field("x", DataType.FLOAT32).dtype.numpy_dtype == "float32"
+        assert Field("d", DataType.DATE).dtype.numpy_dtype == "int64"
+
+    def test_is_numeric(self):
+        assert DataType.INT64.is_numeric
+        assert DataType.DATE.is_numeric
+        assert not DataType.STRING.is_numeric
+        assert not DataType.TENSOR.is_numeric
+
+    def test_is_context_rich(self):
+        assert DataType.STRING.is_context_rich
+        assert DataType.CONTEXT.is_context_rich
+        assert not DataType.FLOAT64.is_context_rich
+
+
+class TestSchema:
+    def make(self) -> Schema:
+        return Schema.of(
+            Field("id", DataType.INT64),
+            Field("name", DataType.STRING),
+            Field("vec", DataType.TENSOR, dim=4),
+        )
+
+    def test_names_order(self):
+        assert self.make().names == ("id", "name", "vec")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.of(Field("x", DataType.INT64), Field("x", DataType.BOOL))
+
+    def test_contains_and_len(self):
+        s = self.make()
+        assert "name" in s
+        assert "missing" not in s
+        assert len(s) == 3
+
+    def test_field_lookup(self):
+        s = self.make()
+        assert s.field("vec").dim == 4
+        with pytest.raises(SchemaError, match="unknown column"):
+            s.field("nope")
+
+    def test_index_of(self):
+        s = self.make()
+        assert s.index_of("name") == 1
+        with pytest.raises(SchemaError):
+            s.index_of("nope")
+
+    def test_select_projection(self):
+        s = self.make().select(["vec", "id"])
+        assert s.names == ("vec", "id")
+
+    def test_add_and_drop(self):
+        s = self.make().add(Field("extra", DataType.BOOL))
+        assert "extra" in s
+        assert "extra" not in s.drop("extra")
+        with pytest.raises(SchemaError, match="already exists"):
+            s.add(Field("id", DataType.INT64))
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(SchemaError):
+            self.make().drop("nope")
+
+    def test_rename(self):
+        s = self.make().rename({"id": "key"})
+        assert s.names == ("key", "name", "vec")
+        with pytest.raises(SchemaError):
+            self.make().rename({"nope": "x"})
+
+    def test_concat_disjoint(self):
+        a = Schema.of(Field("a", DataType.INT64))
+        b = Schema.of(Field("b", DataType.INT64))
+        assert a.concat(b).names == ("a", "b")
+
+    def test_concat_overlap_needs_prefixes(self):
+        a = Schema.of(Field("x", DataType.INT64))
+        b = Schema.of(Field("x", DataType.INT64))
+        with pytest.raises(SchemaError, match="overlap"):
+            a.concat(b)
+        merged = a.concat(b, prefixes=("l_", "r_"))
+        assert merged.names == ("l_x", "r_x")
+
+    def test_concat_prefix_only_applies_to_overlap(self):
+        a = Schema.of(Field("x", DataType.INT64), Field("only_a", DataType.BOOL))
+        b = Schema.of(Field("x", DataType.INT64), Field("only_b", DataType.BOOL))
+        merged = a.concat(b, prefixes=("l_", "r_"))
+        assert merged.names == ("l_x", "only_a", "r_x", "only_b")

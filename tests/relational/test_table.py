@@ -1,0 +1,171 @@
+"""Unit tests for the columnar Table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.relational import Column, DataType, Field, Schema, Table
+
+
+def make_table() -> Table:
+    schema = Schema.of(
+        Field("id", DataType.INT64),
+        Field("name", DataType.STRING),
+        Field("vec", DataType.TENSOR, dim=2),
+    )
+    return Table.from_arrays(
+        schema,
+        {
+            "id": np.asarray([1, 2, 3]),
+            "name": ["a", "b", "c"],
+            "vec": np.arange(6, dtype=np.float32).reshape(3, 2),
+        },
+    )
+
+
+class TestConstruction:
+    def test_from_arrays(self):
+        t = make_table()
+        assert t.num_rows == 3
+        assert t.array("vec").shape == (3, 2)
+
+    def test_from_dicts(self, people_table):
+        assert people_table.num_rows == 5
+        assert people_table.array("name")[0] == "ada"
+
+    def test_from_columns(self):
+        t = Table.from_columns(
+            [Column(Field("x", DataType.INT64), [1, 2])]
+        )
+        assert t.schema.names == ("x",)
+
+    def test_empty(self):
+        t = Table.empty(make_table().schema)
+        assert t.num_rows == 0
+        assert t.array("vec").shape == (0, 2)
+
+    def test_ragged_columns_rejected(self):
+        schema = Schema.of(Field("a", DataType.INT64), Field("b", DataType.INT64))
+        with pytest.raises(SchemaError, match="ragged"):
+            Table.from_arrays(schema, {"a": [1, 2], "b": [1]})
+
+    def test_mismatched_schema_rejected(self):
+        schema = Schema.of(Field("a", DataType.INT64))
+        col = Column(Field("b", DataType.INT64), [1])
+        with pytest.raises(SchemaError, match="do not match"):
+            Table(schema, {"b": col})
+
+
+class TestAccess:
+    def test_row(self):
+        row = make_table().row(1)
+        assert row["id"] == 2
+        assert row["name"] == "b"
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_table().row(5)
+
+    def test_to_dicts_roundtrip(self, people_table):
+        rows = people_table.to_dicts()
+        rebuilt = Table.from_dicts(people_table.schema, rows)
+        assert rebuilt.to_dicts() == rows
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            make_table().column("zzz")
+
+    def test_nbytes_positive(self):
+        assert make_table().nbytes() > 0
+
+    def test_repr_mentions_types(self):
+        assert "vec:tensor[2]" in repr(make_table())
+
+
+class TestRowOps:
+    def test_take_reorders(self):
+        t = make_table().take(np.asarray([2, 0]))
+        assert t.array("id").tolist() == [3, 1]
+
+    def test_mask(self):
+        t = make_table().mask(np.asarray([True, False, True]))
+        assert t.array("name").tolist() == ["a", "c"]
+
+    def test_slice_and_head(self):
+        assert make_table().slice(1, 3).num_rows == 2
+        assert make_table().head(2).num_rows == 2
+
+    def test_slice_clamps(self):
+        assert make_table().slice(2, 100).num_rows == 1
+
+
+class TestColumnOps:
+    def test_select(self):
+        t = make_table().select(["name"])
+        assert t.schema.names == ("name",)
+
+    def test_with_column(self):
+        extra = Column(Field("flag", DataType.BOOL), [True, False, True])
+        t = make_table().with_column(extra)
+        assert "flag" in t.schema
+
+    def test_with_column_length_check(self):
+        extra = Column(Field("flag", DataType.BOOL), [True])
+        with pytest.raises(SchemaError, match="length"):
+            make_table().with_column(extra)
+
+    def test_with_column_duplicate(self):
+        extra = Column(Field("id", DataType.INT64), [9, 9, 9])
+        with pytest.raises(SchemaError, match="already exists"):
+            make_table().with_column(extra)
+
+    def test_drop(self):
+        t = make_table().drop("name")
+        assert "name" not in t.schema
+
+    def test_rename(self):
+        t = make_table().rename({"id": "key"})
+        assert t.array("key").tolist() == [1, 2, 3]
+
+
+class TestTableOps:
+    def test_concat_rows(self):
+        t = make_table().concat_rows(make_table())
+        assert t.num_rows == 6
+
+    def test_concat_rows_schema_mismatch(self):
+        other = make_table().rename({"id": "key"})
+        with pytest.raises(SchemaError):
+            make_table().concat_rows(other)
+
+    def test_zip_columns(self):
+        t = make_table().zip_columns(make_table())
+        assert t.num_rows == 3
+        assert "l_id" in t.schema and "r_id" in t.schema
+
+    def test_zip_columns_length_mismatch(self):
+        with pytest.raises(SchemaError, match="lengths"):
+            make_table().zip_columns(make_table().head(2))
+
+    def test_sort_by_numeric(self, people_table):
+        t = people_table.sort_by("age")
+        assert t.array("age").tolist() == sorted(people_table.array("age"))
+
+    def test_sort_by_descending(self, people_table):
+        t = people_table.sort_by("score", descending=True)
+        scores = t.array("score").tolist()
+        assert scores == sorted(scores, reverse=True)
+
+    def test_sort_by_string(self, people_table):
+        t = people_table.sort_by("name")
+        assert t.array("name")[0] == "ada"
+
+    def test_sort_stability(self, people_table):
+        # Two rows with age 36: original order (ada before dan) is kept.
+        t = people_table.sort_by("age")
+        names_36 = [r["name"] for r in t.to_dicts() if r["age"] == 36]
+        assert names_36 == ["ada", "dan"]
+
+    def test_sort_by_tensor_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            make_table().sort_by("vec")

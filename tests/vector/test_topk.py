@@ -1,0 +1,70 @@
+"""Unit tests for top-k selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionalityError
+from repro.vector import top_k_indices, top_k_per_row
+
+
+class TestTopKIndices:
+    def test_best_first(self):
+        scores = np.asarray([0.1, 0.9, 0.5, 0.7])
+        assert top_k_indices(scores, 2).tolist() == [1, 3]
+
+    def test_full_ordering(self):
+        scores = np.asarray([3.0, 1.0, 2.0])
+        assert top_k_indices(scores, 3).tolist() == [0, 2, 1]
+
+    def test_ascending(self):
+        scores = np.asarray([3.0, 1.0, 2.0])
+        assert top_k_indices(scores, 2, descending=False).tolist() == [1, 2]
+
+    def test_k_larger_than_n(self):
+        scores = np.asarray([1.0, 2.0])
+        assert len(top_k_indices(scores, 10)) == 2
+
+    def test_k_zero(self):
+        assert len(top_k_indices(np.asarray([1.0]), 0)) == 0
+
+    def test_tie_break_by_index(self):
+        scores = np.asarray([0.5, 0.5, 0.5, 0.9])
+        assert top_k_indices(scores, 3).tolist() == [3, 0, 1]
+
+    def test_matches_argsort(self):
+        rng = np.random.default_rng(5)
+        scores = rng.standard_normal(100)
+        got = top_k_indices(scores, 10)
+        expected = np.argsort(-scores, kind="stable")[:10]
+        assert got.tolist() == expected.tolist()
+
+    def test_requires_1d(self):
+        with pytest.raises(DimensionalityError):
+            top_k_indices(np.ones((2, 2)), 1)
+
+
+class TestTopKPerRow:
+    def test_shape(self):
+        m = np.random.default_rng(6).standard_normal((5, 8))
+        assert top_k_per_row(m, 3).shape == (5, 3)
+
+    def test_matches_rowwise_topk(self):
+        m = np.random.default_rng(7).standard_normal((6, 10))
+        got = top_k_per_row(m, 4)
+        for i in range(6):
+            assert got[i].tolist() == top_k_indices(m[i], 4).tolist()
+
+    def test_k_larger_than_cols(self):
+        m = np.random.default_rng(8).standard_normal((3, 2))
+        assert top_k_per_row(m, 5).shape == (3, 2)
+
+    def test_empty_rows(self):
+        assert top_k_per_row(np.empty((0, 4)), 2).shape == (0, 0)
+
+    def test_k_zero(self):
+        m = np.ones((3, 4))
+        assert top_k_per_row(m, 0).shape == (3, 0)
+
+    def test_requires_2d(self):
+        with pytest.raises(DimensionalityError):
+            top_k_per_row(np.ones(3), 1)

@@ -1,0 +1,65 @@
+"""Unit tests for selectivity-controlled workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    SEL_ATTR,
+    filter_bitmap,
+    selectivity_predicate,
+    selectivity_values,
+    vector_relation,
+)
+
+
+class TestSelectivityValues:
+    def test_exact_fractions(self):
+        values = selectivity_values(1000, seed=1)
+        for pct in (10, 25, 50, 90):
+            assert (values < pct).mean() == pytest.approx(pct / 100)
+
+    def test_range(self):
+        values = selectivity_values(100, seed=2)
+        assert values.min() >= 0.0
+        assert values.max() < 100.0
+
+    def test_deterministic(self):
+        assert np.allclose(
+            selectivity_values(50, seed=3), selectivity_values(50, seed=3)
+        )
+
+    def test_negative_n(self):
+        with pytest.raises(WorkloadError):
+            selectivity_values(-1)
+
+
+class TestVectorRelation:
+    def test_schema(self):
+        t = vector_relation(100, 8, seed=4)
+        assert t.schema.names == ("id", SEL_ATTR, "vec")
+        assert t.num_rows == 100
+        assert t.array("vec").shape == (100, 8)
+
+    def test_ids_sequential(self):
+        t = vector_relation(10, 4, seed=5)
+        assert t.array("id").tolist() == list(range(10))
+
+
+class TestPredicates:
+    def test_predicate_selectivity(self):
+        t = vector_relation(500, 4, seed=6)
+        for pct in (5, 30, 75):
+            bitmap = filter_bitmap(t, pct)
+            assert bitmap.mean() == pytest.approx(pct / 100, abs=0.005)
+
+    def test_extremes(self):
+        t = vector_relation(100, 4, seed=7)
+        assert filter_bitmap(t, 0).sum() == 0
+        assert filter_bitmap(t, 100).sum() == 100
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            selectivity_predicate(101)
+        with pytest.raises(WorkloadError):
+            selectivity_predicate(-1)

@@ -1,0 +1,63 @@
+"""Unit tests for the dirty-string workload."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import generate_dirty_strings
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_dirty_strings(n_feed=200, seed=95)
+
+
+class TestStructure:
+    def test_sizes(self, workload):
+        assert workload.feed.num_rows == 200
+        assert workload.catalog.num_rows > 0
+        assert len(workload.truth) == 200
+        assert len(workload.kinds) == 200
+
+    def test_truth_ids_valid(self, workload):
+        n_words = workload.catalog.num_rows
+        assert all(0 <= v < n_words for v in workload.truth.values())
+
+    def test_feed_schema(self, workload):
+        assert workload.feed.schema.names == ("id", "text", "day", "views")
+
+    def test_kinds_vocabulary(self, workload):
+        assert set(workload.kinds.values()) <= {
+            "exact", "misspelled", "plural", "synonym",
+        }
+
+    def test_corruption_rates_validated(self):
+        with pytest.raises(WorkloadError):
+            generate_dirty_strings(
+                misspelling_rate=0.5, plural_rate=0.5, synonym_rate=0.5
+            )
+
+
+class TestGroundTruth:
+    def test_exact_rows_match_catalog(self, workload):
+        words = workload.catalog.array("word").tolist()
+        for feed_id, kind in workload.kinds.items():
+            if kind == "exact":
+                text = workload.feed.array("text")[feed_id]
+                assert text == words[workload.truth[feed_id]]
+
+    def test_synonym_rows_same_topic_word(self, workload):
+        words = workload.catalog.array("word").tolist()
+        for feed_id, kind in workload.kinds.items():
+            if kind == "synonym":
+                text = workload.feed.array("text")[feed_id]
+                assert text == words[workload.truth[feed_id]]
+
+    def test_deterministic(self):
+        a = generate_dirty_strings(n_feed=30, seed=96)
+        b = generate_dirty_strings(n_feed=30, seed=96)
+        assert a.feed.array("text").tolist() == b.feed.array("text").tolist()
+
+    def test_all_kinds_present(self, workload):
+        assert set(workload.kinds.values()) == {
+            "exact", "misspelled", "plural", "synonym",
+        }
