@@ -1,0 +1,19 @@
+"""Smoke-mode scaling for the figure benchmarks.
+
+``python -m repro.bench --smoke`` sets ``REPRO_BENCH_SMOKE=1`` in the
+benchmark process; every benchmark module then swaps its paper-scaled
+sizes for minimal ones via :func:`pick`, so CI can sanity-run every
+scenario end to end in seconds.  Timings from smoke runs are meaningless —
+only the code paths and report plumbing are exercised.
+"""
+
+from __future__ import annotations
+
+import os
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def pick(full, smoke):
+    """Return the full-scale value, or the smoke-scale one under --smoke."""
+    return smoke if SMOKE else full

@@ -14,10 +14,12 @@ import pytest
 from repro.index import HNSWIndex
 from repro.workloads import unit_vectors
 
+from _smoke import pick
+
 # Figures 15-17 scan-vs-probe setup (paper: 10k x 1M, 100-D, Milvus HNSW).
-SCAN_PROBE_DIM = 256
-SCAN_PROBE_BASE = 10_000
-SCAN_PROBE_QUERIES = 200
+SCAN_PROBE_DIM = pick(256, 32)
+SCAN_PROBE_BASE = pick(10_000, 500)
+SCAN_PROBE_QUERIES = pick(200, 20)
 #: Selectivity sweep in percent (paper sweeps 0..100).
 SELECTIVITIES = (1, 5, 10, 20, 40, 60, 80, 100)
 

@@ -16,8 +16,10 @@ from repro.core import TopKCondition, eselect
 from repro.embedding import HashingEmbedder
 from repro.workloads import unit_vectors
 
+from _smoke import pick
+
 DIM = 64
-SIZES = [2_000, 4_000, 8_000, 16_000]
+SIZES = pick([2_000, 4_000, 8_000, 16_000], [200, 400])
 CONDITION = TopKCondition(10)
 
 

@@ -21,8 +21,10 @@ from repro.core import (
 )
 from repro.workloads import unit_vectors
 
+from _smoke import pick
+
 DIM = 256
-SIZES = [(500, 5_000), (1_000, 10_000)]
+SIZES = pick([(500, 5_000), (1_000, 10_000)], [(50, 500)])
 CONDITION = TopKCondition(1)
 
 

@@ -20,11 +20,13 @@ from repro.bench import FigureReport, time_call
 from repro.core import ThresholdCondition, naive_nlj, prefetch_nlj
 from repro.embedding import HashingEmbedder
 
+from _smoke import pick
+
 N_LEFT = 40
 N_RIGHT = 40
 CONDITION = ThresholdCondition(0.8)
 #: Simulated per-embedding latencies (seconds): lookup table -> deep model.
-LATENCIES = [0.0, 0.0001, 0.0005]
+LATENCIES = pick([0.0, 0.0001, 0.0005], [0.0, 0.0001])
 #: Pretend price per embedding call (USD), for the monetary column.
 PRICE_PER_CALL = 0.0001
 

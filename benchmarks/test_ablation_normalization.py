@@ -17,9 +17,11 @@ from repro.core import ThresholdCondition, tensor_join
 from repro.vector import normalize_rows
 from repro.workloads import random_vectors
 
+from _smoke import pick
+
 DIM = 100
 CONDITION = ThresholdCondition(0.9)
-SIZES = [(2_000, 2_000), (6_000, 6_000)]
+SIZES = pick([(2_000, 2_000), (6_000, 6_000)], [(200, 200)])
 
 
 @pytest.mark.parametrize("n", [s[0] for s in SIZES])

@@ -19,7 +19,9 @@ from repro.core import ThresholdCondition, naive_nlj, prefetch_nlj
 from repro.embedding import HashingEmbedder
 from repro.vector import Kernel
 
-SIZES = [(100, 100), (200, 100), (200, 200)]
+from _smoke import pick
+
+SIZES = pick([(100, 100), (200, 100), (200, 200)], [(20, 20)])
 CONDITION = ThresholdCondition(0.8)
 DIM = 100
 

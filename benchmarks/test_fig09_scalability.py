@@ -18,9 +18,11 @@ from repro.core import ThresholdCondition, parallel_join
 from repro.vector import Kernel
 from repro.workloads import unit_vectors
 
+from _smoke import pick
+
 DIM = 100
-N = 4000
-N_SCALAR = 400
+N = pick(4000, 200)
+N_SCALAR = pick(400, 40)
 CONDITION = ThresholdCondition(0.9)
 
 

@@ -15,25 +15,30 @@ from repro.bench import FigureReport, time_call
 from repro.core import ThresholdCondition, prefetch_nlj
 from repro.workloads import unit_vectors
 
+from _smoke import SMOKE, pick
+
 DIM = 100
 CONDITION = ThresholdCondition(0.9)
 
 #: (n_left, n_right) grouped by op count |R|*|S|.
-SIZE_MIXES = [
-    (1_000, 1_000),    # 1e6 ops
-    (10_000, 100),     # 1e6 ops
-    (100, 10_000),     # 1e6 ops
-    (10_000, 1_000),   # 1e7 ops
-    (1_000, 10_000),   # 1e7 ops
-    (10_000, 10_000),  # 1e8 ops
-    (100_000, 1_000),  # 1e8 ops
-    (1_000, 100_000),  # 1e8 ops
-]
+SIZE_MIXES = pick(
+    [
+        (1_000, 1_000),    # 1e6 ops
+        (10_000, 100),     # 1e6 ops
+        (100, 10_000),     # 1e6 ops
+        (10_000, 1_000),   # 1e7 ops
+        (1_000, 10_000),   # 1e7 ops
+        (10_000, 10_000),  # 1e8 ops
+        (100_000, 1_000),  # 1e8 ops
+        (1_000, 100_000),  # 1e8 ops
+    ],
+    [(100, 100), (200, 50)],
+)
 
 
 @pytest.fixture(scope="module")
 def pool():
-    big = unit_vectors(100_000, DIM, stream="f10/pool")
+    big = unit_vectors(max(max(mix) for mix in SIZE_MIXES), DIM, stream="f10/pool")
     return big
 
 
@@ -64,11 +69,13 @@ def test_fig10_report(benchmark, pool):
         )
     # Linear-in-operations shape: the 1e8 clusters should be ~10x the 1e7
     # ones (we assert a loose 3x monotonicity to stay timing-robust).
-    t_1e6 = measured[(1_000, 1_000)]
-    t_1e7 = measured[(10_000, 1_000)]
-    t_1e8 = measured[(10_000, 10_000)]
-    assert t_1e7 > t_1e6, "1e7-op join should cost more than 1e6"
-    assert t_1e8 > 3 * t_1e7, "1e8-op join should cost several times 1e7"
+    # Smoke mode runs toy sizes where the shape claim is meaningless.
+    if not SMOKE:
+        t_1e6 = measured[(1_000, 1_000)]
+        t_1e7 = measured[(10_000, 1_000)]
+        t_1e8 = measured[(10_000, 10_000)]
+        assert t_1e7 > t_1e6, "1e7-op join should cost more than 1e6"
+        assert t_1e8 > 3 * t_1e7, "1e8-op join should cost several times 1e7"
     report.note(
         "loop-order effect: rows with the same op count differ only in "
         "which relation is outer (paper observes up to ~35%)"

@@ -19,8 +19,10 @@ from repro.bench import FigureReport, time_call
 from repro.core import TopKCondition, tensor_join, tensor_join_non_batched
 from repro.workloads import unit_vectors
 
-OPS_CLUSTERS = [25_600, 2_560_000, 25_600_000]
-DIMS = [1, 4, 16, 64, 256]
+from _smoke import pick
+
+OPS_CLUSTERS = pick([25_600, 2_560_000, 25_600_000], [25_600])
+DIMS = pick([1, 4, 16, 64, 256], [4, 16])
 CONDITION = TopKCondition(1)
 
 

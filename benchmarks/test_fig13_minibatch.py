@@ -17,11 +17,16 @@ from repro.bench import FigureReport, time_call
 from repro.core import ThresholdCondition, tensor_join
 from repro.workloads import unit_vectors
 
+from _smoke import SMOKE, pick
+
 DIM = 100
-N = 6_000
+N = pick(6_000, 300)
 CONDITION = ThresholdCondition(0.9)
 #: (batch_left, batch_right) mini-batch shapes; None means No Batch.
-BATCHES = [None, (3_000, 3_000), (2_000, 2_000), (1_000, 1_000), (500, 500)]
+BATCHES = pick(
+    [None, (3_000, 3_000), (2_000, 2_000), (1_000, 1_000), (500, 500)],
+    [None, (100, 100)],
+)
 
 
 @pytest.fixture(scope="module")
@@ -76,12 +81,15 @@ def test_fig13_report(benchmark, data):
         label = "nobatch" if batch is None else f"{batch[0]}x{batch[1]}"
         report.add(label, seconds * 1000, buffer_mb, slowdown, reduction)
     # RAM shrinks by orders of magnitude; slowdown stays within a few x.
-    assert reductions[-1] >= 100, (
-        f"smallest batch should cut RAM >= 100x, got {reductions[-1]:.1f}x"
-    )
-    assert max(slowdowns) < 10, (
-        f"mini-batching slowdown should stay within 10x, got {max(slowdowns):.1f}x"
-    )
+    # Smoke sizes are too small for the orders-of-magnitude claim.
+    if not SMOKE:
+        assert reductions[-1] >= 100, (
+            f"smallest batch should cut RAM >= 100x, got {reductions[-1]:.1f}x"
+        )
+        assert max(slowdowns) < 10, (
+            f"mini-batching slowdown should stay within 10x, "
+            f"got {max(slowdowns):.1f}x"
+        )
     report.note("paper: negligible slowdown for orders-of-magnitude RAM savings")
     report.emit()
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -21,12 +21,14 @@ import numpy as np
 from _scan_probe import probe_with_prefilter, scan_with_filter
 from repro.bench import FigureReport, time_call
 from repro.core import ThresholdCondition, TopKCondition, index_join, tensor_join
-from repro.index import FlatIndex, HNSWIndex
+from repro.index import HNSWIndex
 from repro.workloads import unit_vectors
 
+from _smoke import pick
+
 DIM = 64
-N_BASE = 4_000
-N_PROBE = 100
+N_BASE = pick(4_000, 400)
+N_PROBE = pick(100, 20)
 
 
 def test_table1_report(benchmark):

@@ -8,6 +8,8 @@ A hybrid vector-relational engine in pure Python/NumPy:
 * :mod:`repro.index` — flat and HNSW vector indexes,
 * :mod:`repro.core` — the paper's contribution: E-join operators, tensor
   formulation, cost model, access-path selection,
+* :mod:`repro.engine` — morsel-driven parallel executor: work-stealing
+  scheduling and adaptive, calibration-fed batch sizing,
 * :mod:`repro.algebra` — extended relational algebra and optimizer,
 * :mod:`repro.query` — declarative query builder,
 * :mod:`repro.workloads` — seeded synthetic workload generators,
@@ -20,7 +22,7 @@ Quickstart::
                          repro.ThresholdCondition(0.9))
 """
 
-from .config import ReproConfig, get_config, rng, set_seed
+from .config import ReproConfig, configure, get_config, rng, set_seed
 from .core import (
     JoinResult,
     ThresholdCondition,
@@ -29,18 +31,21 @@ from .core import (
     tensor_join,
 )
 from .embedding import EmbeddingModel, FastTextModel, HashingEmbedder
+from .engine import BatchPolicy, ExecutionEngine
 from .index import FlatIndex, HNSWIndex
 from .query import Engine
 from .relational import Catalog, Col, DataType, Field, Schema, Table
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchPolicy",
     "Catalog",
     "Col",
     "DataType",
     "EmbeddingModel",
     "Engine",
+    "ExecutionEngine",
     "FastTextModel",
     "Field",
     "FlatIndex",
@@ -53,6 +58,7 @@ __all__ = [
     "ThresholdCondition",
     "TopKCondition",
     "__version__",
+    "configure",
     "ejoin",
     "get_config",
     "rng",

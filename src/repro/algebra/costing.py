@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.conditions import ThresholdCondition, TopKCondition
+from ..core.conditions import TopKCondition
 from ..core.cost_model import (
     CostParams,
     e_selection_cost,

@@ -20,9 +20,9 @@ from ..core.cost_model import CostParams, choose_access_path
 from ..core.index_join import DEFAULT_PROBE_K, index_join
 from ..core.join import ejoin
 from ..core.nlj import naive_nlj
-from ..core.result import JoinResult
 from ..embedding.cache import EmbeddingStore
 from ..embedding.registry import ModelRegistry, default_registry
+from ..engine import ExecutionEngine
 from ..errors import PlanError
 from ..index.base import VectorIndex
 from ..relational.catalog import Catalog
@@ -52,6 +52,9 @@ class ExecutionContext:
     #: (table_name, column_name) -> built vector index over that column.
     indexes: dict[tuple[str, str], VectorIndex] = field(default_factory=dict)
     cost_params: CostParams = field(default_factory=CostParams)
+    #: Morsel-driven executor every engine-executed physical operator
+    #: schedules on (thread count / buffer budget come from the config).
+    engine: ExecutionEngine = field(default_factory=ExecutionEngine)
     #: model_name -> shared embedding store (embed-once across the query).
     _stores: dict[str, EmbeddingStore] = field(default_factory=dict)
 
@@ -217,7 +220,8 @@ def _execute_ejoin(
         index, bitmap, base = indexed
         left_vectors = _embed_column(left, node.left_column, node.model_name, ctx)
         result = index_join(
-            left_vectors, index, node.condition, allowed=bitmap
+            left_vectors, index, node.condition, allowed=bitmap,
+            engine=ctx.engine,
         )
         report.strategies.append(result.stats.strategy)
         report.join_stats.append(result.stats)
@@ -242,6 +246,7 @@ def _execute_ejoin(
             right_vectors,
             node.condition,
             strategy=strategy or "tensor",
+            engine=ctx.engine,
         )
     report.strategies.append(result.stats.strategy)
     report.join_stats.append(result.stats)

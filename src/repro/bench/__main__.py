@@ -6,13 +6,18 @@ Usage::
     python -m repro.bench                # run every figure/table benchmark
     python -m repro.bench fig08 fig14    # run selected figures
     python -m repro.bench --list         # show available experiments
+    python -m repro.bench --smoke        # minimal sizes (CI smoke run)
 
-Reports are printed and persisted under ``bench_results/``.
+Engine knobs (``--threads``, ``--buffer-budget-mb``, ``--morsel-rows``)
+are forwarded to the benchmark process through ``REPRO_*`` environment
+variables, so figure runs exercise the morsel-driven engine exactly as
+configured.  Reports are printed and persisted under ``bench_results/``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -62,6 +67,32 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run every scenario at minimal sizes (fast CI sanity pass)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="engine worker count (default: all CPUs)",
+    )
+    parser.add_argument(
+        "--buffer-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="Figure 7 buffer budget for dense join intermediates",
+    )
+    parser.add_argument(
+        "--morsel-rows",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="maximum tuples per engine morsel",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -79,6 +110,18 @@ def main(argv: list[str] | None = None) -> int:
             )
         files.append(str(bench_dir / EXPERIMENTS[name]))
 
+    env = dict(os.environ)
+    if args.smoke:
+        env["REPRO_BENCH_SMOKE"] = "1"
+    if args.threads is not None:
+        env["REPRO_THREADS"] = str(max(1, args.threads))
+    if args.buffer_budget_mb is not None:
+        if args.buffer_budget_mb <= 0:
+            parser.error("--buffer-budget-mb must be positive")
+        env["REPRO_BUFFER_BUDGET_MB"] = str(args.buffer_budget_mb)
+    if args.morsel_rows is not None:
+        env["REPRO_MORSEL_ROWS"] = str(max(1, args.morsel_rows))
+
     command = [
         sys.executable,
         "-m",
@@ -87,8 +130,10 @@ def main(argv: list[str] | None = None) -> int:
         "--benchmark-only",
         "-q",
         "-s",
+        "-p",
+        "no:cacheprovider",
     ]
-    return subprocess.call(command)
+    return subprocess.call(command, env=env)
 
 
 if __name__ == "__main__":

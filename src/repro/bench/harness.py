@@ -8,6 +8,7 @@ measured numbers.
 
 from __future__ import annotations
 
+import os
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -15,6 +16,14 @@ from pathlib import Path
 
 #: Where figure reports are written (relative to the repo root / CWD).
 RESULTS_DIR = Path("bench_results")
+
+
+def results_dir() -> Path:
+    """Report directory; smoke runs divert to a subdirectory so their toy
+    numbers never overwrite full-scale results."""
+    if os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0"):
+        return RESULTS_DIR / "smoke"
+    return RESULTS_DIR
 
 
 def time_call(fn, *args, repeat: int = 1, **kwargs) -> tuple[object, float]:
@@ -87,7 +96,7 @@ class FigureReport:
         return "\n".join(lines)
 
     def save(self, directory: Path | None = None) -> Path:
-        directory = RESULTS_DIR if directory is None else directory
+        directory = results_dir() if directory is None else directory
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / f"{self.figure.lower().replace(' ', '_')}.txt"
         path.write_text(self.render() + "\n", encoding="utf-8")

@@ -32,12 +32,23 @@ class ReproConfig:
             means "use all available CPUs".
         default_batch_rows: Default mini-batch edge (in tuples) for the
             tensor join when no explicit buffer budget is given.
+        default_morsel_rows: Upper bound on morsel size (tuples) handed to
+            engine workers; small enough that work stealing balances skew,
+            large enough that the per-morsel BLAS call dominates dispatch.
+        default_buffer_budget_bytes: Process-wide Figure 7 buffer budget for
+            dense join intermediates.  ``None`` leaves batch shapes to the
+            operator defaults.
+        work_stealing: Whether engine workers steal queued morsels from
+            each other (disable to get static partitioning).
     """
 
     seed: int = DEFAULT_SEED
     default_dim: int = 100
     default_threads: int | None = None
     default_batch_rows: int = 1024
+    default_morsel_rows: int = 1024
+    default_buffer_budget_bytes: int | None = None
+    work_stealing: bool = True
     extra: dict = field(default_factory=dict)
 
     def stream_seed(self, name: str) -> int:
@@ -49,11 +60,80 @@ class ReproConfig:
         return np.random.default_rng(self.stream_seed(name))
 
 
-_config = ReproConfig()
+def _env_number(name: str, parse):
+    """Parse an optional numeric env var; warn and ignore malformed values
+    (this runs at import time — a typo must not break ``import repro``)."""
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return parse(raw)
+    except (ValueError, OverflowError):  # OverflowError: e.g. int(float("inf"))
+        import warnings
+
+        warnings.warn(
+            f"ignoring malformed {name}={raw!r} (expected a number)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+
+
+def _config_from_env() -> ReproConfig:
+    """Build the process-wide config, honouring ``REPRO_*`` overrides.
+
+    The benchmark harness (``python -m repro.bench``) forwards its
+    thread-count/budget knobs to the pytest subprocess through these
+    variables, so figure runs exercise the engine at the requested scale.
+    """
+    config = ReproConfig()
+    threads = _env_number("REPRO_THREADS", int)
+    if threads is not None:
+        config.default_threads = max(1, threads)
+    morsel_rows = _env_number("REPRO_MORSEL_ROWS", int)
+    if morsel_rows is not None:
+        config.default_morsel_rows = max(1, morsel_rows)
+    # Conversion and positivity both live inside the guarded parse so
+    # "nan"/"inf"/zero/negative are rejected like any other malformed
+    # value instead of crashing import or poisoning every tensor join.
+    def _budget(raw: str) -> int:
+        value = int(float(raw) * 2**20)
+        if value < 1:
+            raise ValueError("budget must be positive")
+        return value
+
+    budget_bytes = _env_number("REPRO_BUFFER_BUDGET_MB", _budget)
+    if budget_bytes is not None:
+        config.default_buffer_budget_bytes = budget_bytes
+    # Same convention as REPRO_BENCH_SMOKE: unset, empty, or "0" mean off.
+    if os.environ.get("REPRO_NO_WORK_STEALING", "") not in ("", "0"):
+        config.work_stealing = False
+    return config
+
+
+_config = _config_from_env()
 
 
 def get_config() -> ReproConfig:
     """Return the process-wide configuration object."""
+    return _config
+
+
+def configure(**overrides) -> ReproConfig:
+    """Update fields of the process-wide configuration in place.
+
+    Example::
+
+        repro.config.configure(default_threads=4,
+                               default_buffer_budget_bytes=64 << 20)
+    """
+    from dataclasses import fields
+
+    valid = {f.name for f in fields(ReproConfig)}
+    for name, value in overrides.items():
+        if name not in valid:
+            raise AttributeError(f"unknown config field {name!r}")
+        setattr(_config, name, value)
     return _config
 
 

@@ -48,6 +48,33 @@ def _probe_plan(condition: JoinCondition, probe_k: int | None) -> tuple[int, flo
     return k, condition.threshold
 
 
+def _probe_rows(
+    left_n: np.ndarray,
+    index: VectorIndex,
+    k: int,
+    post_threshold: float | None,
+    allowed: np.ndarray | None,
+    lo: int,
+    hi: int,
+) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
+    """Probe the index for left rows ``[lo, hi)`` (one morsel)."""
+    out_l: list[np.ndarray] = []
+    out_r: list[np.ndarray] = []
+    out_s: list[np.ndarray] = []
+    for i in range(lo, hi):
+        found = index.search(left_n[i], k, allowed=allowed)
+        ids, scores = found.ids, found.scores
+        if post_threshold is not None:
+            keep = scores >= post_threshold
+            ids, scores = ids[keep], scores[keep]
+        if len(ids) == 0:
+            continue
+        out_l.append(np.full(len(ids), i, dtype=np.int64))
+        out_r.append(ids.astype(np.int64))
+        out_s.append(scores.astype(np.float32))
+    return out_l, out_r, out_s
+
+
 def index_join(
     left,
     index: VectorIndex,
@@ -56,6 +83,7 @@ def index_join(
     model: EmbeddingModel | None = None,
     allowed: np.ndarray | None = None,
     probe_k: int | None = None,
+    engine=None,
 ) -> JoinResult:
     """Join left vectors against an index built over the right relation.
 
@@ -68,6 +96,9 @@ def index_join(
         allowed: optional pre-filter bitmap over right ids (relational
             selection pushed down to the index probe).
         probe_k: retrieval depth for threshold conditions.
+        engine: optional :class:`repro.engine.ExecutionEngine`; probe
+            batches are morselized across its workers (the index is only
+            read, and results reassemble in probe order).
 
     Returns:
         Offset-pair :class:`JoinResult`.  Approximate: recall depends on the
@@ -89,20 +120,26 @@ def index_join(
     left_n = normalize_rows(left_m)
     probes_before = index.stats.distance_computations
 
+    if engine is not None and engine.n_threads > 1:
+        parts = engine.map_morsels(
+            left_n.shape[0],
+            lambda m: _probe_rows(
+                left_n, index, k, post_threshold, allowed, m.start, m.stop
+            ),
+        )
+    else:
+        parts = [
+            _probe_rows(
+                left_n, index, k, post_threshold, allowed, 0, left_n.shape[0]
+            )
+        ]
     out_l: list[np.ndarray] = []
     out_r: list[np.ndarray] = []
     out_s: list[np.ndarray] = []
-    for i in range(left_n.shape[0]):
-        found = index.search(left_n[i], k, allowed=allowed)
-        ids, scores = found.ids, found.scores
-        if post_threshold is not None:
-            keep = scores >= post_threshold
-            ids, scores = ids[keep], scores[keep]
-        if len(ids) == 0:
-            continue
-        out_l.append(np.full(len(ids), i, dtype=np.int64))
-        out_r.append(ids.astype(np.int64))
-        out_s.append(scores.astype(np.float32))
+    for part_l, part_r, part_s in parts:
+        out_l.extend(part_l)
+        out_r.extend(part_r)
+        out_s.extend(part_s)
 
     stats.similarity_evaluations = (
         index.stats.distance_computations - probes_before

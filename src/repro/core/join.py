@@ -11,15 +11,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..embedding.base import EmbeddingModel
+from ..engine import ExecutionEngine
 from ..errors import JoinError
 from ..index.base import VectorIndex
 from ..vector.kernels import Kernel
-from .conditions import (
-    JoinCondition,
-    ThresholdCondition,
-    TopKCondition,
-    validate_condition,
-)
+from .conditions import JoinCondition, TopKCondition, validate_condition
 from .cost_model import CostParams, choose_access_path
 from .index_join import DEFAULT_PROBE_K, index_join
 from .nlj import naive_nlj, prefetch_nlj
@@ -63,6 +59,7 @@ def ejoin(
     buffer_budget_bytes: int | None = None,
     cost_params: CostParams | None = None,
     selectivity_hint: float = 1.0,
+    engine: ExecutionEngine | None = None,
 ) -> JoinResult:
     """Context-enhanced join of two relations over embeddings.
 
@@ -81,6 +78,9 @@ def ejoin(
         probe_k: retrieval depth when a threshold condition runs on an index.
         selectivity_hint: relational selectivity estimate for ``auto``'s
             access-path selection.
+        engine: execution engine the physical operators schedule on; a
+            multi-threaded engine parallelizes the scan strategies (and
+            ``parallel-tensor`` builds one from ``n_threads`` when absent).
 
     Returns:
         :class:`JoinResult` of matched offset pairs and their similarities.
@@ -90,6 +90,13 @@ def ejoin(
     validate_condition(condition)
     if strategy not in STRATEGIES:
         raise JoinError(f"unknown strategy {strategy!r}; have {STRATEGIES}")
+    if engine is not None and n_threads is not None:
+        # Rejected up front so the error does not depend on which strategy
+        # "auto" happens to select for this input size.
+        raise JoinError(
+            "pass either n_threads or a pre-configured engine, not both "
+            "(the engine already fixes the worker count)"
+        )
 
     if strategy == "auto":
         strategy = _auto_strategy(
@@ -115,7 +122,9 @@ def ejoin(
         if right is None:
             raise JoinError(f"{strategy} requires an explicit right input")
         kernel = Kernel.SCALAR if strategy == "nlj-scalar" else Kernel.VECTORIZED
-        return prefetch_nlj(left, right, condition, model=model, kernel=kernel)
+        return prefetch_nlj(
+            left, right, condition, model=model, kernel=kernel, engine=engine
+        )
 
     if strategy == "tensor":
         if right is None:
@@ -128,6 +137,7 @@ def ejoin(
             batch_left=batch_left,
             batch_right=batch_right,
             buffer_budget_bytes=buffer_budget_bytes,
+            engine=engine,
         )
 
     if strategy == "parallel-tensor":
@@ -143,6 +153,8 @@ def ejoin(
             n_threads=n_threads,
             batch_left=batch_left,
             batch_right=batch_right,
+            buffer_budget_bytes=buffer_budget_bytes,
+            engine=engine,
         )
 
     assert strategy == "index"
@@ -155,6 +167,7 @@ def ejoin(
         model=model,
         allowed=allowed,
         probe_k=probe_k,
+        engine=engine,
     )
 
 

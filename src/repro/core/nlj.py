@@ -23,7 +23,7 @@ import numpy as np
 from ..embedding.base import EmbeddingModel
 from ..errors import DimensionalityError, JoinError
 from ..vector.kernels import Kernel, cosine_scalar
-from ..vector.norms import ZERO_NORM_EPS, normalize_rows
+from ..vector.norms import normalize_rows
 from ..vector.topk import top_k_indices
 from .conditions import (
     JoinCondition,
@@ -132,6 +132,32 @@ def naive_nlj(
     )
 
 
+def _nlj_rows(
+    left_n: np.ndarray,
+    right_n: np.ndarray,
+    condition: JoinCondition,
+    kernel: Kernel,
+    lo: int,
+    hi: int,
+) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
+    """Run the pairwise loop for left rows ``[lo, hi)`` (one morsel)."""
+    out_left: list[np.ndarray] = []
+    out_right: list[np.ndarray] = []
+    out_scores: list[np.ndarray] = []
+    for i in range(lo, hi):
+        if kernel is Kernel.SCALAR:
+            row = _scalar_row(left_n[i], right_n)
+        else:
+            row = right_n @ left_n[i]
+        idx, picked = _emit_row(row, condition)
+        if len(idx) == 0:
+            continue
+        out_left.append(np.full(len(idx), i, dtype=np.int64))
+        out_right.append(idx)
+        out_scores.append(picked)
+    return out_left, out_right, out_scores
+
+
 def prefetch_nlj(
     left,
     right,
@@ -140,6 +166,8 @@ def prefetch_nlj(
     model: EmbeddingModel | None = None,
     kernel: Kernel = Kernel.VECTORIZED,
     swap_loops: bool = False,
+    assume_normalized: bool = False,
+    engine=None,
 ) -> JoinResult:
     """Prefetch-optimized E-NLJ.
 
@@ -153,6 +181,14 @@ def prefetch_nlj(
     ``swap_loops`` exchanges outer/inner roles to expose the loop-order
     locality effect of Figure 10 (the traditional smaller-relation-inner
     heuristic).
+
+    ``assume_normalized`` skips normalization for inputs that are already
+    unit rows (e.g. morsel chunks of a relation normalized once by
+    :func:`~repro.core.parallel.parallel_join`).
+
+    An ``engine`` (:class:`repro.engine.ExecutionEngine`) morselizes the
+    outer loop across its workers; morsel results reassemble in row order,
+    so output is identical to the inline loop.
     """
     validate_condition(condition)
     if kernel is Kernel.GEMM:
@@ -170,7 +206,8 @@ def prefetch_nlj(
 
     if swap_loops:
         swapped = prefetch_nlj(
-            right_m, left_m, _swap_condition(condition), kernel=kernel
+            right_m, left_m, _swap_condition(condition), kernel=kernel,
+            assume_normalized=assume_normalized, engine=engine,
         )
         stats.similarity_evaluations = swapped.stats.similarity_evaluations
         stats.seconds = time.perf_counter() - start
@@ -179,24 +216,28 @@ def prefetch_nlj(
         )
         return result
 
-    left_n = normalize_rows(left_m)
-    right_n = normalize_rows(right_m)
+    left_n = left_m if assume_normalized else normalize_rows(left_m)
+    right_n = right_m if assume_normalized else normalize_rows(right_m)
 
+    if engine is not None and engine.n_threads > 1:
+        parts = engine.map_morsels(
+            left_n.shape[0],
+            lambda m: _nlj_rows(
+                left_n, right_n, condition, kernel, m.start, m.stop
+            ),
+        )
+    else:
+        parts = [
+            _nlj_rows(left_n, right_n, condition, kernel, 0, left_n.shape[0])
+        ]
     out_left: list[np.ndarray] = []
     out_right: list[np.ndarray] = []
     out_scores: list[np.ndarray] = []
-    for i in range(left_n.shape[0]):
-        if kernel is Kernel.SCALAR:
-            row = _scalar_row(left_n[i], right_n)
-        else:
-            row = right_n @ left_n[i]
-        stats.similarity_evaluations += right_n.shape[0]
-        idx, picked = _emit_row(row, condition)
-        if len(idx) == 0:
-            continue
-        out_left.append(np.full(len(idx), i, dtype=np.int64))
-        out_right.append(idx)
-        out_scores.append(picked)
+    for part_left, part_right, part_scores in parts:
+        out_left.extend(part_left)
+        out_right.extend(part_right)
+        out_scores.extend(part_scores)
+    stats.similarity_evaluations = left_n.shape[0] * right_n.shape[0]
 
     stats.seconds = time.perf_counter() - start
     if not out_left:

@@ -2,19 +2,22 @@
 
 The paper parallelizes by partitioning the input relations along tuple
 boundaries and running the join kernel per partition on affinitized
-threads.  Here each worker runs NumPy/BLAS kernels that release the GIL, so
-a thread pool yields genuine multicore scaling for the vectorized and GEMM
-paths — the Python analogue of the paper's 48-thread runs.
+threads.  Here partitioning and scheduling belong to the morsel-driven
+:mod:`repro.engine`: the left relation is cut into many small morsels and
+work-stealing workers run NumPy/BLAS kernels that release the GIL, so a
+thread pool yields genuine multicore scaling for the vectorized and GEMM
+paths — the Python analogue of the paper's 48-thread runs, robust to skew
+because idle workers steal queued morsels instead of waiting at a static
+partition barrier.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from ..config import cpu_count
+from ..engine import ExecutionEngine, Morsel, partition_rows
 from ..errors import JoinError
 from ..vector.kernels import Kernel
 from ..vector.norms import normalize_rows
@@ -23,18 +26,7 @@ from .nlj import prefetch_nlj
 from .result import JoinResult, JoinStats
 from .tensor_join import tensor_join
 
-
-def partition_rows(n: int, n_parts: int) -> list[tuple[int, int]]:
-    """Split ``[0, n)`` into at most ``n_parts`` contiguous ranges."""
-    if n_parts < 1:
-        raise JoinError(f"n_parts must be >= 1, got {n_parts}")
-    n_parts = min(n_parts, max(n, 1))
-    bounds = np.linspace(0, n, n_parts + 1, dtype=np.int64)
-    return [
-        (int(bounds[i]), int(bounds[i + 1]))
-        for i in range(n_parts)
-        if bounds[i + 1] > bounds[i]
-    ]
+__all__ = ["parallel_join", "partition_rows"]
 
 
 def _offset_result(part: JoinResult, offset: int) -> JoinResult:
@@ -53,38 +45,59 @@ def parallel_join(
     kernel: Kernel = Kernel.VECTORIZED,
     batch_left: int | None = None,
     batch_right: int | None = None,
+    buffer_budget_bytes: int | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> JoinResult:
-    """Partition the left relation and join partitions concurrently.
+    """Morselize the left relation and join morsels on engine workers.
 
     Args:
-        strategy: ``"tensor"`` (GEMM blocks per worker) or ``"nlj"``
-            (prefetch NLJ per worker).
+        strategy: ``"tensor"`` (GEMM blocks per morsel) or ``"nlj"``
+            (prefetch NLJ per morsel).
         n_threads: worker count; defaults to the machine's CPU count.
+            Ignored when an explicit ``engine`` is supplied.
         kernel: similarity kernel for the NLJ strategy.
+        buffer_budget_bytes: total Figure 7 buffer budget for the tensor
+            strategy's dense intermediates, split evenly across workers so
+            concurrently-held blocks stay within it.
+        engine: a pre-configured :class:`~repro.engine.ExecutionEngine`;
+            by default one is built for ``n_threads`` workers.
 
     The result is identical to the single-threaded operator (partitioning
-    is along tuples; both condition families are per-left-tuple, so no
-    cross-partition merge is needed).
+    is along tuples; both condition families are per-left-tuple, and
+    morsel results reassemble in input order regardless of which worker
+    ran them).
     """
     validate_condition(condition)
     if strategy not in ("tensor", "nlj"):
         raise JoinError(f"unknown parallel strategy {strategy!r}")
+    if engine is not None and n_threads is not None:
+        raise JoinError(
+            "pass either n_threads or a pre-configured engine, not both "
+            "(the engine's worker count would silently win)"
+        )
     left = np.asarray(left, dtype=np.float32)
     right = np.asarray(right, dtype=np.float32)
-    n_threads = cpu_count() if n_threads is None else max(1, int(n_threads))
+    if engine is None:
+        engine = ExecutionEngine(n_threads=n_threads)
 
-    stats = JoinStats(strategy=f"parallel-{strategy}/{n_threads}t")
+    stats = JoinStats(strategy=f"parallel-{strategy}/{engine.n_threads}t")
     start = time.perf_counter()
     stats.n_left, stats.n_right = len(left), len(right)
 
     # Normalize once, outside the workers (shared read-only operands).
     left_n = normalize_rows(left)
     right_n = normalize_rows(right)
-    parts = partition_rows(len(left_n), n_threads)
 
-    def run_part(bounds: tuple[int, int]) -> JoinResult:
-        lo, hi = bounds
-        chunk = left_n[lo:hi]
+    # Morsels run concurrently, so each worker's inner tensor_join gets
+    # its share of the total budget (explicit or engine-configured),
+    # divided by how many morsels can actually be in flight at once.
+    n_morsels = len(engine.morsels_for(len(left_n)))
+    worker_budget = engine.worker_budget(
+        buffer_budget_bytes, concurrency=n_morsels
+    )
+
+    def run_morsel(morsel: Morsel) -> JoinResult:
+        chunk = left_n[morsel.start : morsel.stop]
         if strategy == "tensor":
             part = tensor_join(
                 chunk,
@@ -92,17 +105,18 @@ def parallel_join(
                 condition,
                 batch_left=batch_left,
                 batch_right=batch_right,
+                buffer_budget_bytes=worker_budget,
                 assume_normalized=True,
+                policy=engine.policy,  # calibrated block sizing per morsel
             )
         else:
-            part = prefetch_nlj(chunk, right_n, condition, kernel=kernel)
-        return _offset_result(part, lo)
+            part = prefetch_nlj(
+                chunk, right_n, condition, kernel=kernel,
+                assume_normalized=True,
+            )
+        return _offset_result(part, morsel.start)
 
-    if n_threads == 1 or len(parts) == 1:
-        results = [run_part(p) for p in parts]
-    else:
-        with ThreadPoolExecutor(max_workers=n_threads) as pool:
-            results = list(pool.map(run_part, parts))
+    results = engine.map_morsels(len(left_n), run_morsel)
 
     merged = JoinResult.concat(results, stats)
     stats.similarity_evaluations = sum(
@@ -112,6 +126,7 @@ def parallel_join(
     stats.peak_buffer_elements = max(
         (r.stats.peak_buffer_elements for r in results), default=0
     )
+    stats.extra["morsels"] = len(results)
     stats.seconds = time.perf_counter() - start
     stats.pairs_emitted = len(merged)
     return merged

@@ -25,7 +25,7 @@ from ..vector.norms import normalize_rows
 from .conditions import JoinCondition, validate_condition
 from .nlj import _as_matrix
 from .result import JoinResult, JoinStats
-from .tensor_join import resolve_batch_shape, tensor_join
+from .tensor_join import tensor_join
 
 #: Supported storage precisions for the tensor join operands.
 PRECISIONS = ("fp32", "fp16")
@@ -57,6 +57,7 @@ def tensor_join_fp16(
     model: EmbeddingModel | None = None,
     batch_left: int | None = None,
     batch_right: int | None = None,
+    buffer_budget_bytes: int | None = None,
 ) -> JoinResult:
     """Tensor join with FP16-quantized operands.
 
@@ -81,19 +82,16 @@ def tensor_join_fp16(
         stats.seconds = time.perf_counter() - start
         return JoinResult.empty(stats)
 
-    bl, br = resolve_batch_shape(
-        stats.n_left,
-        stats.n_right,
-        batch_left=batch_left,
-        batch_right=batch_right,
-    )
     # Upcast block-by-block: storage stays FP16, accumulation is FP32.
+    # Batch shapes are left to tensor_join's policy so buffer budgets
+    # (explicit or configured) apply to FP16 joins too.
     inner = tensor_join(
         left_h.astype(np.float32),
         right_h.astype(np.float32),
         condition,
-        batch_left=bl,
-        batch_right=br,
+        batch_left=batch_left,
+        batch_right=batch_right,
+        buffer_budget_bytes=buffer_budget_bytes,
         assume_normalized=False,  # re-normalize: quantization perturbs norms
     )
     stats.peak_buffer_elements = inner.stats.peak_buffer_elements

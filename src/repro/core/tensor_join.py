@@ -5,20 +5,30 @@ The join becomes a block-matrix dot product: normalize both relations once
 dimensions**, and compute ``D = R @ S.T`` block-by-block with BLAS GEMM.
 Each block's dense intermediate is pruned to qualifying offset pairs before
 the next block runs, so peak memory is ``batch_left * batch_right`` floats
-regardless of input size (the Figure 7 buffer budget).
+regardless of input size (the Figure 7 buffer budget).  Top-k conditions
+stream every block through a bounded :class:`~repro.vector.topk.StreamingTopK`
+merge, so the budget also covers the candidate state, end to end.
+
+Left blocks are independent tasks; handing the join an
+:class:`~repro.engine.ExecutionEngine` schedules them on its work-stealing
+workers, with batch shapes resolved by the engine's (possibly calibrated)
+:class:`~repro.engine.BatchPolicy`.
 """
 
 from __future__ import annotations
 
-import math
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
+from ..config import get_config
 from ..embedding.base import EmbeddingModel
-from ..errors import BufferBudgetError, DimensionalityError
+from ..engine import BatchPolicy, ExecutionEngine
+from ..engine.adaptive import CELL_BYTES as _CELL_BYTES
+from ..errors import DimensionalityError
 from ..vector.norms import normalize_rows
-from ..vector.topk import top_k_per_row
+from ..vector.topk import StreamingTopK
 from .conditions import (
     JoinCondition,
     ThresholdCondition,
@@ -27,9 +37,6 @@ from .conditions import (
 )
 from .nlj import _as_matrix
 from .result import JoinResult, JoinStats
-
-#: Bytes per FP32 score cell in the intermediate matrix.
-_CELL_BYTES = 4
 
 
 def resolve_batch_shape(
@@ -43,26 +50,30 @@ def resolve_batch_shape(
     """Derive mini-batch edges from explicit sizes or a buffer budget.
 
     With only a budget, the edges are chosen square-ish:
-    ``batch_l * batch_r * 4 bytes <= budget``.
+    ``batch_l * batch_r * 4 bytes <= budget``.  Thin wrapper over
+    :meth:`repro.engine.BatchPolicy.resolve` (the single budget-to-shape
+    implementation), kept as the stable core-layer entry point.
     """
-    if n_left <= 0 or n_right <= 0:
-        return max(n_left, 1), max(n_right, 1)
-    if buffer_budget_bytes is not None:
-        cells = buffer_budget_bytes // _CELL_BYTES
-        if cells < 1:
-            raise BufferBudgetError(
-                f"buffer budget {buffer_budget_bytes}B cannot hold one FP32 cell"
-            )
-        edge = int(math.isqrt(cells))
-        batch_left = batch_left or min(n_left, max(edge, 1))
-        batch_right = batch_right or min(n_right, max(cells // max(batch_left, 1), 1))
-    batch_left = n_left if batch_left is None else min(batch_left, n_left)
-    batch_right = n_right if batch_right is None else min(batch_right, n_right)
-    if batch_left < 1 or batch_right < 1:
-        raise BufferBudgetError(
-            f"invalid batch shape ({batch_left}, {batch_right})"
-        )
-    return batch_left, batch_right
+    return BatchPolicy().resolve(
+        n_left,
+        n_right,
+        1,  # dim only matters to calibrated policies
+        batch_left=batch_left,
+        batch_right=batch_right,
+        buffer_budget_bytes=buffer_budget_bytes,
+    )
+
+
+@dataclass
+class _BlockPart:
+    """One left block's matches plus the counters it accumulated."""
+
+    left_ids: np.ndarray
+    right_ids: np.ndarray
+    scores: np.ndarray
+    similarity_evaluations: int = 0
+    batch_invocations: int = 0
+    peak_intermediate_bytes: int = 0
 
 
 def tensor_join(
@@ -75,6 +86,8 @@ def tensor_join(
     batch_right: int | None = None,
     buffer_budget_bytes: int | None = None,
     assume_normalized: bool = False,
+    engine: ExecutionEngine | None = None,
+    policy: BatchPolicy | None = None,
 ) -> JoinResult:
     """Scan-based exact E-join via blocked GEMM.
 
@@ -85,8 +98,19 @@ def tensor_join(
         batch_left, batch_right: explicit mini-batch edges in tuples.
         buffer_budget_bytes: alternatively, a memory budget for the dense
             intermediate (Figure 7's ``Buffer``); batch edges are derived.
+            Under a top-k condition the budget also covers the streaming
+            merge state, and with a multi-threaded engine it is split
+            evenly across workers — peak intermediate memory is bounded
+            end to end, counting all concurrent blocks.
         assume_normalized: skip normalization when inputs are already unit
             rows (ablation: pre-normalized storage).
+        engine: execution engine scheduling left blocks across its workers
+            and resolving batch shapes via its calibrated policy.  ``None``
+            runs blocks inline with policy defaults from the global config.
+        policy: batch-shape policy for engine-less calls (e.g. per-morsel
+            joins inside :func:`~repro.core.parallel.parallel_join`, which
+            forwards its engine's calibrated policy); ignored when an
+            ``engine`` is supplied.
 
     Returns:
         Sparse offset-pair :class:`JoinResult`; ``stats`` records peak
@@ -110,115 +134,199 @@ def tensor_join(
     left_n = left_m if assume_normalized else normalize_rows(left_m)
     right_n = right_m if assume_normalized else normalize_rows(right_m)
 
-    bl, br = resolve_batch_shape(
-        stats.n_left,
-        stats.n_right,
-        batch_left=batch_left,
-        batch_right=batch_right,
-        buffer_budget_bytes=buffer_budget_bytes,
+    if engine is not None:
+        policy = engine.policy
+    elif policy is None:
+        policy = BatchPolicy(
+            buffer_budget_bytes=get_config().default_buffer_budget_bytes
+        )
+    reserve = (
+        StreamingTopK.state_bytes_per_row(condition.k)
+        if isinstance(condition, TopKCondition)
+        else 0
     )
+    full_budget = (
+        policy.buffer_budget_bytes
+        if buffer_budget_bytes is None
+        else buffer_budget_bytes
+    )
+
+    def _resolve(share: int) -> tuple[int, int]:
+        eff = None if full_budget is None else max(full_budget // share, 1)
+        bl, br = policy.resolve(
+            stats.n_left,
+            stats.n_right,
+            left_n.shape[1],
+            batch_left=batch_left,
+            batch_right=batch_right,
+            buffer_budget_bytes=eff,
+            reserve_bytes_per_left_row=reserve,
+        )
+        if (
+            engine is not None
+            and engine.n_threads > 1
+            and batch_left is None
+            and bl >= stats.n_left
+        ):
+            # Neither the caller nor the (possibly generous) budget split
+            # the left side: cap the left edge at the engine's morsel size
+            # so the join actually parallelizes instead of degenerating to
+            # one serial full-size block.
+            morsels = engine.morsels_for(stats.n_left)
+            if len(morsels) > 1:
+                bl = max(len(m) for m in morsels)
+        return bl, br
+
+    if engine is not None and engine.n_threads > 1:
+        # Split the budget by how many blocks are concurrently resident.
+        # Shrinking the budget shrinks blocks and so *raises* the block
+        # count, so iterate share = min(workers, blocks) to its fixed
+        # point (monotone, bounded by n_threads); at the fixed point
+        # holders * per-block <= budget.  A single-block join keeps the
+        # whole budget instead of paying for concurrency it never gets.
+        share = 1
+        for _ in range(8):
+            bl, br = _resolve(share)
+            blocks = -(-stats.n_left // bl)
+            new_share = min(engine.n_threads, blocks)
+            if new_share <= share:
+                break
+            share = new_share
+        else:
+            bl, br = _resolve(engine.n_threads)  # conservative, always safe
+    else:
+        bl, br = _resolve(1)
     stats.peak_buffer_elements = bl * br
     stats.extra["batch_shape"] = (bl, br)
 
-    if isinstance(condition, ThresholdCondition):
-        result = _threshold_blocks(left_n, right_n, condition, bl, br, stats)
+    parts = _run_left_blocks(left_n, right_n, condition, bl, br, engine)
+    for part in parts:
+        stats.similarity_evaluations += part.similarity_evaluations
+        stats.batch_invocations += part.batch_invocations
+        stats.extra["peak_intermediate_bytes"] = max(
+            stats.extra.get("peak_intermediate_bytes", 0),
+            part.peak_intermediate_bytes,
+        )
+    populated = [p for p in parts if len(p.left_ids)]
+    if not populated:
+        result = JoinResult.empty(stats)
     else:
-        assert isinstance(condition, TopKCondition)
-        result = _topk_blocks(left_n, right_n, condition, bl, br, stats)
+        result = JoinResult(
+            np.concatenate([p.left_ids for p in populated]),
+            np.concatenate([p.right_ids for p in populated]),
+            np.concatenate([p.scores for p in populated]),
+            stats,
+        )
     stats.seconds = time.perf_counter() - start
-    result.stats = stats
     stats.pairs_emitted = len(result)
     return result
 
 
-def _threshold_blocks(
+def _run_left_blocks(
     left_n: np.ndarray,
+    right_n: np.ndarray,
+    condition: JoinCondition,
+    bl: int,
+    br: int,
+    engine: ExecutionEngine | None,
+) -> list[_BlockPart]:
+    """Join every left block against the right relation.
+
+    Each block is a self-contained task over shared read-only operands, so
+    a multi-threaded engine schedules them on its work-stealing workers;
+    results come back in block order, keeping output identical to the
+    inline loop.
+    """
+    n = left_n.shape[0]
+    bounds = [(l0, min(l0 + bl, n)) for l0 in range(0, n, bl)]
+
+    def block_task(span: tuple[int, int]) -> _BlockPart:
+        l0, l1 = span
+        if isinstance(condition, ThresholdCondition):
+            return _threshold_block(
+                left_n[l0:l1], l0, right_n, condition, br
+            )
+        assert isinstance(condition, TopKCondition)
+        return _topk_block(left_n[l0:l1], l0, right_n, condition, br)
+
+    if engine is None or engine.n_threads == 1 or len(bounds) == 1:
+        return [block_task(span) for span in bounds]
+    return engine.run([lambda span=span: block_task(span) for span in bounds])
+
+
+def _threshold_block(
+    lb: np.ndarray,
+    l0: int,
     right_n: np.ndarray,
     condition: ThresholdCondition,
-    bl: int,
     br: int,
-    stats: JoinStats,
-) -> JoinResult:
+) -> _BlockPart:
     out_l: list[np.ndarray] = []
     out_r: list[np.ndarray] = []
     out_s: list[np.ndarray] = []
-    for l0 in range(0, left_n.shape[0], bl):
-        lb = left_n[l0 : l0 + bl]
-        for r0 in range(0, right_n.shape[0], br):
-            rb = right_n[r0 : r0 + br]
-            scores = lb @ rb.T  # dense GEMM block (Figure 6 step 1)
-            stats.batch_invocations += 1
-            stats.similarity_evaluations += scores.size
-            li, ri = np.nonzero(scores >= condition.threshold)
-            if len(li) == 0:
-                continue
-            # Map block-local offsets back via batch offsets (Fig. 6 step 2).
-            out_l.append(li.astype(np.int64) + l0)
-            out_r.append(ri.astype(np.int64) + r0)
-            out_s.append(scores[li, ri].astype(np.float32))
-    if not out_l:
-        return JoinResult.empty(stats)
-    return JoinResult(
-        np.concatenate(out_l),
-        np.concatenate(out_r),
-        np.concatenate(out_s),
-        stats,
+    part = _BlockPart(
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.float32),
     )
+    for r0 in range(0, right_n.shape[0], br):
+        rb = right_n[r0 : r0 + br]
+        scores = lb @ rb.T  # dense GEMM block (Figure 6 step 1)
+        part.batch_invocations += 1
+        part.similarity_evaluations += scores.size
+        part.peak_intermediate_bytes = max(
+            part.peak_intermediate_bytes, scores.size * _CELL_BYTES
+        )
+        li, ri = np.nonzero(scores >= condition.threshold)
+        if len(li) == 0:
+            continue
+        # Map block-local offsets back via batch offsets (Fig. 6 step 2).
+        out_l.append(li.astype(np.int64) + l0)
+        out_r.append(ri.astype(np.int64) + r0)
+        out_s.append(scores[li, ri].astype(np.float32))
+    if out_l:
+        part.left_ids = np.concatenate(out_l)
+        part.right_ids = np.concatenate(out_r)
+        part.scores = np.concatenate(out_s)
+    return part
 
 
-def _topk_blocks(
-    left_n: np.ndarray,
+def _topk_block(
+    lb: np.ndarray,
+    l0: int,
     right_n: np.ndarray,
     condition: TopKCondition,
-    bl: int,
     br: int,
-    stats: JoinStats,
-) -> JoinResult:
+) -> _BlockPart:
     k = condition.k
-    out_l: list[np.ndarray] = []
-    out_r: list[np.ndarray] = []
-    out_s: list[np.ndarray] = []
-    for l0 in range(0, left_n.shape[0], bl):
-        lb = left_n[l0 : l0 + bl]
-        n_lb = lb.shape[0]
-        # Per-left-row candidate pool merged across right blocks.
-        cand_ids: np.ndarray | None = None
-        cand_scores: np.ndarray | None = None
-        for r0 in range(0, right_n.shape[0], br):
-            rb = right_n[r0 : r0 + br]
-            scores = lb @ rb.T
-            stats.batch_invocations += 1
-            stats.similarity_evaluations += scores.size
-            local = top_k_per_row(scores, k)
-            local_scores = np.take_along_axis(scores, local, axis=1)
-            local_ids = local.astype(np.int64) + r0
-            if cand_ids is None:
-                cand_ids, cand_scores = local_ids, local_scores
-            else:
-                cand_ids = np.concatenate([cand_ids, local_ids], axis=1)
-                cand_scores = np.concatenate([cand_scores, local_scores], axis=1)
-                keep = top_k_per_row(cand_scores, k)
-                cand_ids = np.take_along_axis(cand_ids, keep, axis=1)
-                cand_scores = np.take_along_axis(cand_scores, keep, axis=1)
-        assert cand_ids is not None and cand_scores is not None
-        kk = cand_ids.shape[1]
-        li = np.repeat(np.arange(n_lb, dtype=np.int64) + l0, kk)
-        ri = cand_ids.reshape(-1)
-        sc = cand_scores.reshape(-1).astype(np.float32)
-        if condition.min_similarity is not None:
-            keep = sc >= condition.min_similarity
-            li, ri, sc = li[keep], ri[keep], sc[keep]
-        out_l.append(li)
-        out_r.append(ri)
-        out_s.append(sc)
-    if not out_l:
-        return JoinResult.empty(stats)
-    return JoinResult(
-        np.concatenate(out_l),
-        np.concatenate(out_r),
-        np.concatenate(out_s),
-        stats,
+    n_lb = lb.shape[0]
+    part = _BlockPart(
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.float32),
     )
+    merger = StreamingTopK(n_lb, k)
+    state_bytes = n_lb * StreamingTopK.state_bytes_per_row(k)
+    for r0 in range(0, right_n.shape[0], br):
+        rb = right_n[r0 : r0 + br]
+        scores = lb @ rb.T
+        part.batch_invocations += 1
+        part.similarity_evaluations += scores.size
+        part.peak_intermediate_bytes = max(
+            part.peak_intermediate_bytes,
+            scores.size * _CELL_BYTES + state_bytes,
+        )
+        merger.update_block(scores, r0)
+    cand_ids, cand_scores = merger.finalize()
+    kk = cand_ids.shape[1]
+    li = np.repeat(np.arange(n_lb, dtype=np.int64) + l0, kk)
+    ri = cand_ids.reshape(-1)
+    sc = cand_scores.reshape(-1).astype(np.float32)
+    if condition.min_similarity is not None:
+        keep = sc >= condition.min_similarity
+        li, ri, sc = li[keep], ri[keep], sc[keep]
+    part.left_ids, part.right_ids, part.scores = li, ri, sc
+    return part
 
 
 def tensor_join_non_batched(

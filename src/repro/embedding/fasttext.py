@@ -21,7 +21,6 @@ import numpy as np
 from ..config import get_config
 from ..errors import ModelNotFittedError, VocabularyError
 from .base import EmbeddingModel
-from .corpus import SemanticCorpus
 from .hashing_model import char_ngrams, hash_ngram
 
 

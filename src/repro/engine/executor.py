@@ -1,0 +1,170 @@
+"""The execution engine: morsel scheduling plus batch-shape policy.
+
+One :class:`ExecutionEngine` instance owns everything the physical join
+operators used to decide ad hoc: how the left relation is partitioned
+(morsels), who runs them (the work-stealing scheduler), and how large the
+dense GEMM blocks inside each morsel may grow (the adaptive
+:class:`~repro.engine.adaptive.BatchPolicy`, optionally fed by
+:mod:`repro.core.calibration` measurements).  Operators stay pure
+functions over row ranges; the engine decides placement and shape.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from ..config import cpu_count, get_config
+from .adaptive import BatchPolicy
+from .morsel import Morsel, make_morsels
+from .scheduler import SchedulerStats, WorkStealingScheduler
+
+#: Minimum morsels per worker the engine aims for, so stealing has slack.
+MORSELS_PER_WORKER = 4
+
+
+@dataclass
+class EngineStats:
+    """Cumulative scheduling counters across an engine's lifetime."""
+
+    runs: int = 0
+    morsels_dispatched: int = 0
+    steals: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class ExecutionEngine:
+    """Morsel-driven parallel executor for E-join operators.
+
+    Args:
+        n_threads: worker count; ``None`` uses the configured CPU count.
+        morsel_rows: upper bound on rows per morsel; ``None`` uses the
+            configured default.
+        policy: batch-shape policy; ``None`` builds one from the configured
+            buffer budget.
+        work_stealing: override the configured work-stealing toggle.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_threads: int | None = None,
+        morsel_rows: int | None = None,
+        policy: BatchPolicy | None = None,
+        work_stealing: bool | None = None,
+    ) -> None:
+        config = get_config()
+        self.n_threads = (
+            cpu_count() if n_threads is None else max(1, int(n_threads))
+        )
+        self.morsel_rows = (
+            config.default_morsel_rows if morsel_rows is None else morsel_rows
+        )
+        if self.morsel_rows < 1:
+            raise ValueError(f"morsel_rows must be >= 1, got {self.morsel_rows}")
+        self.policy = (
+            BatchPolicy(buffer_budget_bytes=config.default_buffer_budget_bytes)
+            if policy is None
+            else policy
+        )
+        self.work_stealing = (
+            config.work_stealing if work_stealing is None else work_stealing
+        )
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def morsels_for(self, n_rows: int) -> list[Morsel]:
+        """Morselize ``[0, n_rows)`` for this engine's worker count.
+
+        Uses the configured morsel size, shrunk so every worker sees at
+        least :data:`MORSELS_PER_WORKER` morsels when the input allows it —
+        otherwise a skewed morsel pins its worker with nothing to steal.
+        """
+        if n_rows <= 0:
+            return []
+        rows = self.morsel_rows
+        if self.n_threads > 1:
+            target = -(-n_rows // (self.n_threads * MORSELS_PER_WORKER))
+            rows = max(1, min(rows, target))
+        return make_morsels(n_rows, rows)
+
+    def map_morsels(
+        self, n_rows: int, task: Callable[[Morsel], object]
+    ) -> list:
+        """Run ``task`` over every morsel of ``[0, n_rows)``.
+
+        Returns per-morsel results in input (sequence) order, so callers
+        can concatenate them and obtain exactly the single-threaded result.
+        """
+        morsels = self.morsels_for(n_rows)
+        return self.run([lambda m=m: task(m) for m in morsels])
+
+    def run(self, tasks: Sequence[Callable[[], object]]) -> list:
+        """Schedule an arbitrary ordered task batch on the engine's workers.
+
+        Used by operators whose natural work unit is not a tuple range
+        (e.g. the tensor join's left GEMM blocks).  Results keep task
+        order.
+        """
+        run_stats = SchedulerStats()
+        scheduler = WorkStealingScheduler(
+            self.n_threads, work_stealing=self.work_stealing
+        )
+        results = scheduler.run(tasks, stats=run_stats)
+        self.stats.runs += 1
+        self.stats.morsels_dispatched += run_stats.n_tasks
+        self.stats.steals += run_stats.steals
+        return results
+
+    # ------------------------------------------------------------------
+    # Batch shaping
+    # ------------------------------------------------------------------
+    def worker_budget(
+        self,
+        buffer_budget_bytes: int | None = None,
+        *,
+        concurrency: int | None = None,
+    ) -> int | None:
+        """Per-worker share of the buffer budget.
+
+        An explicit budget wins over the policy's; the total is split by
+        the number of workers that can actually hold a dense block at
+        once — ``min(n_threads, concurrency)`` when the caller knows how
+        many tasks exist — so the *sum* of resident intermediates honours
+        the configured bound without over-shrinking few-block joins.
+        """
+        budget = (
+            self.policy.buffer_budget_bytes
+            if buffer_budget_bytes is None
+            else buffer_budget_bytes
+        )
+        holders = (
+            self.n_threads
+            if concurrency is None
+            else min(self.n_threads, max(concurrency, 1))
+        )
+        if budget is not None and holders > 1:
+            budget = budget // holders
+        return budget
+
+    def calibrate(self, model, **kwargs) -> BatchPolicy:
+        """Measure this machine and adopt a calibrated batch policy.
+
+        Runs :func:`repro.core.calibration.calibrate` (imported lazily —
+        the core layer executes through this engine) and replaces the
+        policy, keeping any configured buffer budget.
+        """
+        from ..core.calibration import calibrate
+
+        report = calibrate(model, **kwargs)
+        self.policy = BatchPolicy.from_calibration(
+            report, buffer_budget_bytes=self.policy.buffer_budget_bytes
+        )
+        return self.policy
+
+
+def serial_engine() -> ExecutionEngine:
+    """A fresh single-threaded engine (deterministic inline execution)."""
+    return ExecutionEngine(n_threads=1)

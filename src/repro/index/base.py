@@ -13,6 +13,7 @@ observed behaviour.
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,7 +24,12 @@ from ..vector.norms import normalize_rows
 
 @dataclass
 class IndexStats:
-    """Build and probe counters."""
+    """Build and probe counters.
+
+    Probe counters feed cost-model calibration, so they must stay exact
+    when an execution engine probes the index from several workers —
+    mutate them through :meth:`count`, which serializes the update.
+    """
 
     n_inserted: int = 0
     build_seconds: float = 0.0
@@ -31,6 +37,16 @@ class IndexStats:
     distance_computations: int = 0
     hops: int = 0
     extra: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def count(self, *, probes: int = 0, distances: int = 0, hops: int = 0) -> None:
+        """Atomically bump probe counters (safe under concurrent probes)."""
+        with self._lock:
+            self.n_probes += probes
+            self.distance_computations += distances
+            self.hops += hops
 
 
 @dataclass(frozen=True)

@@ -31,8 +31,7 @@ class FlatIndex(VectorIndex):
         self._require_built()
         query = normalize_vector(np.asarray(query, dtype=np.float32))
         sims = self._vectors @ query
-        self.stats.n_probes += 1
-        self.stats.distance_computations += len(sims)
+        self.stats.count(probes=1, distances=len(sims))
         if allowed is not None:
             sims = np.where(np.asarray(allowed, dtype=bool), sims, -np.inf)
         ids = top_k_indices(sims, k)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import threading
 import time
 
 import numpy as np
@@ -67,16 +68,36 @@ class HNSWIndex(VectorIndex):
         self._node_levels: list[int] = []
         self._entry_point: int | None = None
         self._max_level: int = -1
+        self._tally_local = threading.local()
 
     # ------------------------------------------------------------------
     # Distance helpers (cosine distance over normalized vectors)
     # ------------------------------------------------------------------
+    # Counters accumulate in a thread-local tally (plain int adds in the
+    # hot traversal loops) and publish to the shared, lock-protected
+    # IndexStats once per search/insert — exact under concurrent probes
+    # without paying a lock acquire per distance computation.
+    def _tally(self):
+        local = self._tally_local
+        if not hasattr(local, "distances"):
+            local.distances = 0
+            local.hops = 0
+        return local
+
+    def _flush_tally(self, *, probes: int = 0) -> None:
+        local = self._tally()
+        self.stats.count(
+            probes=probes, distances=local.distances, hops=local.hops
+        )
+        local.distances = 0
+        local.hops = 0
+
     def _dist_one(self, query: np.ndarray, node: int) -> float:
-        self.stats.distance_computations += 1
+        self._tally().distances += 1
         return 1.0 - float(self._vectors[node] @ query)
 
     def _dist_many(self, query: np.ndarray, nodes: list[int]) -> np.ndarray:
-        self.stats.distance_computations += len(nodes)
+        self._tally().distances += len(nodes)
         return 1.0 - self._vectors[np.asarray(nodes)] @ query
 
     # ------------------------------------------------------------------
@@ -89,6 +110,7 @@ class HNSWIndex(VectorIndex):
         start = time.perf_counter()
         for offset in range(normalized.shape[0]):
             self._insert_one(base_id + offset)
+        self._flush_tally()
         self.stats.build_seconds += time.perf_counter() - start
 
     def _insert_one(self, node: int) -> None:
@@ -158,7 +180,7 @@ class HNSWIndex(VectorIndex):
             if not neighbors:
                 break
             dists = self._dist_many(query, neighbors)
-            self.stats.hops += 1
+            self._tally().hops += 1
             best = int(np.argmin(dists))
             if dists[best] < current_dist:
                 current = neighbors[best]
@@ -199,7 +221,7 @@ class HNSWIndex(VectorIndex):
             if not neighbors:
                 continue
             visited.update(neighbors)
-            self.stats.hops += 1
+            self._tally().hops += 1
             dists = self._dist_many(query, neighbors)
             worst = -results[0][0] if results else math.inf
             for n, d in zip(neighbors, dists.tolist()):
@@ -228,7 +250,6 @@ class HNSWIndex(VectorIndex):
                     f"({len(self._vectors)},)"
                 )
         query = normalize_vector(np.asarray(query, dtype=np.float32))
-        self.stats.n_probes += 1
         assert self._entry_point is not None
 
         current = self._entry_point
@@ -241,6 +262,7 @@ class HNSWIndex(VectorIndex):
         top = found[:k]
         ids = np.asarray([nid for _, nid in top], dtype=np.int64)
         scores = np.asarray([1.0 - d for d, _ in top], dtype=np.float32)
+        self._flush_tally(probes=1)
         return SearchResult(ids=ids, scores=scores)
 
     # ------------------------------------------------------------------

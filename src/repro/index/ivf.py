@@ -103,10 +103,9 @@ class IVFFlatIndex(VectorIndex):
         self._require_built()
         assert self._centroids is not None
         query = normalize_vector(np.asarray(query, dtype=np.float32))
-        self.stats.n_probes += 1
 
         centroid_sims = self._centroids @ query
-        self.stats.distance_computations += len(centroid_sims)
+        self.stats.count(probes=1, distances=len(centroid_sims))
         probe_lists = top_k_indices(centroid_sims, self.nprobe)
 
         candidates = np.concatenate(
@@ -118,8 +117,7 @@ class IVFFlatIndex(VectorIndex):
                 scores=np.empty(0, dtype=np.float32),
             )
         sims = self._vectors[candidates] @ query
-        self.stats.distance_computations += len(candidates)
-        self.stats.hops += len(probe_lists)
+        self.stats.count(distances=len(candidates), hops=len(probe_lists))
         if allowed is not None:
             allowed = np.asarray(allowed, dtype=bool)
             if allowed.shape != (len(self._vectors),):

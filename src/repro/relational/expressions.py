@@ -17,7 +17,6 @@ import numpy as np
 
 from ..errors import ExpressionError
 from .column import date_to_days
-from .schema import DataType
 from .table import Table
 
 

@@ -8,7 +8,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...errors import ExpressionError, SchemaError
-from ...relational.column import Column
 from ...relational.schema import DataType, Field, Schema
 from ...relational.table import Table
 from .base import PhysicalOperator

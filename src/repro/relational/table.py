@@ -13,7 +13,7 @@ import numpy as np
 
 from ..errors import SchemaError, TypeMismatchError
 from .column import Column, coerce_values
-from .schema import DataType, Field, Schema
+from .schema import DataType, Schema
 
 
 @dataclass

@@ -11,10 +11,11 @@ from .kernels import (
     dot_scalar,
 )
 from .norms import is_normalized, l2_norms, normalize_rows, normalize_vector
-from .topk import top_k_indices, top_k_per_row
+from .topk import StreamingTopK, top_k_indices, top_k_per_row
 
 __all__ = [
     "Kernel",
+    "StreamingTopK",
     "cosine_matrix",
     "cosine_matrix_gemm",
     "cosine_matrix_scalar",

@@ -74,3 +74,92 @@ def top_k_per_row(
     for row in ambiguous:
         out[row] = top_k_indices(score_matrix[row], k, descending=descending)
     return out
+
+
+class StreamingTopK:
+    """Bounded streaming top-k merge over blockwise score production.
+
+    Holds at most ``k`` ``(right_id, score)`` candidates per left row and
+    folds each incoming block into that state immediately, so a blocked
+    top-k join never materializes more than one block's candidates beyond
+    the running winners — the per-worker analogue of a bounded merge heap,
+    kept in NumPy arrays so the merge itself is vectorized.
+
+    Candidates arriving earlier win score ties (matching a full-matrix
+    ``top_k_per_row`` when blocks stream in ascending right-id order).
+    """
+
+    def __init__(self, n_rows: int, k: int) -> None:
+        if n_rows < 0:
+            raise DimensionalityError(f"n_rows must be >= 0, got {n_rows}")
+        if k < 1:
+            raise DimensionalityError(f"k must be >= 1, got {k}")
+        self.n_rows = n_rows
+        self.k = k
+        self._ids: np.ndarray | None = None
+        self._scores: np.ndarray | None = None
+
+    @staticmethod
+    def state_bytes_per_row(k: int) -> int:
+        """Upper bound on merge-state bytes held per left row.
+
+        At :meth:`update`'s transient peak, four ``k``-wide candidate sets
+        (each an int64 id plus an FP32 score) are alive simultaneously:
+        the retained winners, the incoming pruned block, and the 2k-wide
+        concatenation of both.
+        """
+        return 4 * k * (8 + 4)
+
+    def update(self, ids: np.ndarray, scores: np.ndarray) -> None:
+        """Fold a candidate batch ``(n_rows, m)`` into the running top-k."""
+        ids = np.asarray(ids)
+        scores = np.asarray(scores)
+        if ids.shape != scores.shape or ids.ndim != 2:
+            raise DimensionalityError(
+                f"candidate shapes must match and be 2-D, got {ids.shape} "
+                f"and {scores.shape}"
+            )
+        if ids.shape[0] != self.n_rows:
+            raise DimensionalityError(
+                f"expected {self.n_rows} rows, got {ids.shape[0]}"
+            )
+        if ids.shape[1] > self.k:
+            keep = top_k_per_row(scores, self.k)
+            ids = np.take_along_axis(ids, keep, axis=1)
+            scores = np.take_along_axis(scores, keep, axis=1)
+        if self._ids is None:
+            self._ids = ids.astype(np.int64, copy=True)
+            self._scores = scores.astype(np.float32, copy=True)
+            return
+        merged_ids = np.concatenate([self._ids, ids.astype(np.int64)], axis=1)
+        merged_scores = np.concatenate(
+            [self._scores, scores.astype(np.float32)], axis=1
+        )
+        keep = top_k_per_row(merged_scores, self.k)
+        self._ids = np.take_along_axis(merged_ids, keep, axis=1)
+        self._scores = np.take_along_axis(merged_scores, keep, axis=1)
+
+    def update_block(self, scores: np.ndarray, right_offset: int) -> None:
+        """Fold one dense score block whose columns start at ``right_offset``."""
+        scores = np.asarray(scores)
+        if scores.ndim != 2:
+            raise DimensionalityError(
+                f"expected 2-D scores, got ndim={scores.ndim}"
+            )
+        local = top_k_per_row(scores, self.k)
+        local_scores = np.take_along_axis(scores, local, axis=1)
+        self.update(local.astype(np.int64) + right_offset, local_scores)
+
+    @property
+    def width(self) -> int:
+        """Current number of retained candidates per row (``<= k``)."""
+        return 0 if self._ids is None else self._ids.shape[1]
+
+    def finalize(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(ids, scores)`` of shape ``(n_rows, <=k)``, best first."""
+        if self._ids is None or self._scores is None:
+            return (
+                np.empty((self.n_rows, 0), dtype=np.int64),
+                np.empty((self.n_rows, 0), dtype=np.float32),
+            )
+        return self._ids, self._scores

@@ -1,6 +1,5 @@
 """Unit tests for physical planning and execution."""
 
-import numpy as np
 import pytest
 
 from repro.algebra import (
@@ -19,7 +18,7 @@ from repro.core import ThresholdCondition, TopKCondition
 from repro.embedding import HashingEmbedder, ModelRegistry
 from repro.errors import PlanError
 from repro.index import FlatIndex
-from repro.relational import Catalog, Col, DataType, Field, Schema, Table
+from repro.relational import Catalog, Col, DataType
 from repro.workloads import generate_dirty_strings
 
 

@@ -7,7 +7,6 @@ from repro.core import (
     choose_access_path,
     crossover_selectivity,
     e_selection_cost,
-    index_join_cost,
     index_probe_cost,
     naive_nlj_cost,
     prefetch_nlj_cost,

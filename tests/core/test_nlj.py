@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import ThresholdCondition, TopKCondition, naive_nlj, prefetch_nlj
-from repro.embedding import HashingEmbedder
 from repro.errors import DimensionalityError, JoinError
 from repro.vector import Kernel
 

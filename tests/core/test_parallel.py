@@ -1,6 +1,5 @@
 """Unit tests for data-parallel join execution."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

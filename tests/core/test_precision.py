@@ -48,14 +48,14 @@ class TestFp16Join:
         # Compare matched scores pairwise on the common pairs.
         common = full.pairs() & half.pairs()
         full_scores = {
-            (l, r): s
-            for l, r, s in zip(
+            (li, r): s
+            for li, r, s in zip(
                 full.left_ids.tolist(), full.right_ids.tolist(), full.scores
             )
         }
         half_scores = {
-            (l, r): s
-            for l, r, s in zip(
+            (li, r): s
+            for li, r, s in zip(
                 half.left_ids.tolist(), half.right_ids.tolist(), half.scores
             )
         }
@@ -70,8 +70,8 @@ class TestFp16Join:
         half = tensor_join_fp16(left, right, ThresholdCondition(t))
         bound = precision_error_bound(left.shape[1])
         scores = normalize_rows(left) @ normalize_rows(right).T
-        for l, r in full.pairs() ^ half.pairs():
-            assert abs(float(scores[l, r]) - t) <= 2 * bound
+        for li, r in full.pairs() ^ half.pairs():
+            assert abs(float(scores[li, r]) - t) <= 2 * bound
 
     def test_operand_bytes_recorded(self, small_vectors):
         left, right = small_vectors

@@ -11,7 +11,6 @@ from repro.core import (
     tensor_join,
     tensor_join_non_batched,
 )
-from repro.embedding import HashingEmbedder
 from repro.errors import BufferBudgetError, DimensionalityError
 from repro.vector import normalize_rows
 

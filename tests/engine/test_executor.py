@@ -1,0 +1,115 @@
+"""Unit tests for the ExecutionEngine facade."""
+
+import numpy as np
+import pytest
+
+from repro.config import configure, get_config
+from repro.engine import BatchPolicy, ExecutionEngine, serial_engine
+
+
+@pytest.fixture()
+def restore_config():
+    config = get_config()
+    saved = (
+        config.default_threads,
+        config.default_morsel_rows,
+        config.default_buffer_budget_bytes,
+        config.work_stealing,
+    )
+    yield config
+    (
+        config.default_threads,
+        config.default_morsel_rows,
+        config.default_buffer_budget_bytes,
+        config.work_stealing,
+    ) = saved
+
+
+class TestEngineConstruction:
+    def test_defaults_from_config(self, restore_config):
+        configure(
+            default_threads=3,
+            default_morsel_rows=77,
+            default_buffer_budget_bytes=4096,
+            work_stealing=False,
+        )
+        engine = ExecutionEngine()
+        assert engine.n_threads == 3
+        assert engine.morsel_rows == 77
+        assert engine.policy.buffer_budget_bytes == 4096
+        assert engine.work_stealing is False
+
+    def test_explicit_arguments_win(self, restore_config):
+        configure(default_threads=2)
+        engine = ExecutionEngine(n_threads=5, morsel_rows=10)
+        assert engine.n_threads == 5
+        assert engine.morsel_rows == 10
+
+    def test_serial_engine(self):
+        assert serial_engine().n_threads == 1
+
+    def test_invalid_morsel_rows(self):
+        with pytest.raises(ValueError, match="morsel_rows"):
+            ExecutionEngine(morsel_rows=0)
+
+
+class TestMorselization:
+    def test_morsels_cover_input(self):
+        engine = ExecutionEngine(n_threads=4, morsel_rows=100)
+        morsels = engine.morsels_for(1000)
+        assert morsels[0].start == 0
+        assert morsels[-1].stop == 1000
+        assert sum(len(m) for m in morsels) == 1000
+
+    def test_morsels_give_stealing_slack(self):
+        """Each worker should see several morsels, not one static slab."""
+        engine = ExecutionEngine(n_threads=4, morsel_rows=10_000)
+        morsels = engine.morsels_for(4000)
+        assert len(morsels) >= 4 * 4
+
+    def test_small_input_single_morsel(self):
+        engine = ExecutionEngine(n_threads=1, morsel_rows=1024)
+        assert len(engine.morsels_for(10)) == 1
+
+    def test_empty_input(self):
+        assert ExecutionEngine(n_threads=2).morsels_for(0) == []
+
+
+class TestMapMorsels:
+    @pytest.mark.parametrize("n_threads", [1, 4])
+    def test_results_in_input_order(self, n_threads):
+        engine = ExecutionEngine(n_threads=n_threads, morsel_rows=7)
+        results = engine.map_morsels(100, lambda m: (m.start, m.stop))
+        flat = [r for r in results]
+        assert flat[0][0] == 0
+        assert flat[-1][1] == 100
+        for (_, hi), (lo, _) in zip(flat, flat[1:]):
+            assert hi == lo
+
+    def test_stats_accumulate(self):
+        engine = ExecutionEngine(n_threads=2, morsel_rows=5)
+        engine.map_morsels(50, lambda m: len(m))
+        assert engine.stats.runs == 1
+        assert engine.stats.morsels_dispatched == len(engine.morsels_for(50))
+
+    def test_sum_matches_sequential(self):
+        data = np.arange(1000, dtype=np.float64)
+        engine = ExecutionEngine(n_threads=4, morsel_rows=13)
+        parts = engine.map_morsels(
+            1000, lambda m: float(data[m.start : m.stop].sum())
+        )
+        assert sum(parts) == pytest.approx(float(data.sum()))
+
+
+class TestCalibration:
+    def test_calibrate_adopts_measured_policy(self, hash_model):
+        engine = ExecutionEngine(n_threads=1)
+        engine.policy = BatchPolicy(buffer_budget_bytes=1 << 20)
+        policy = engine.calibrate(hash_model, dim=16, n_rows=128)
+        assert policy.gemm_seconds_per_fma is not None
+        assert policy.gemm_seconds_per_fma > 0
+        assert policy.buffer_budget_bytes == 1 << 20
+        assert engine.policy is policy
+        # The calibrated policy produces a usable batch shape.
+        bl, br = engine.policy.resolve(10_000, 10_000, 16)
+        assert 1 <= bl <= 10_000 and 1 <= br <= 10_000

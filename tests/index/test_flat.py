@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import DimensionalityError, IndexNotBuiltError
 from repro.index import FlatIndex
-from repro.vector import normalize_rows
 from repro.workloads import unit_vectors
 
 

@@ -43,3 +43,58 @@ class TestStreams:
             assert cpu_count() == 3
         finally:
             cfg.default_threads = original
+
+
+class TestEnvOverrides:
+    def test_malformed_env_values_do_not_break_import(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-c", "import repro; print('imported-ok')"],
+            capture_output=True,
+            text=True,
+            env={
+                "PYTHONPATH": "src",
+                "REPRO_THREADS": "four",
+                "REPRO_BUFFER_BUDGET_MB": "1gb",
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "imported-ok" in proc.stdout
+
+    def test_valid_env_values_apply(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import repro; c = repro.get_config(); "
+                "print(c.default_threads, c.default_buffer_budget_bytes)",
+            ],
+            capture_output=True,
+            text=True,
+            env={
+                "PYTHONPATH": "src",
+                "REPRO_THREADS": "2",
+                "REPRO_BUFFER_BUDGET_MB": "0.5",
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.split() == ["2", "524288"]
+
+
+class TestConfigure:
+    def test_rejects_method_names(self):
+        from repro.config import configure
+
+        import pytest
+
+        with pytest.raises(AttributeError, match="rng"):
+            configure(rng=42)
+        # rng must still be callable afterwards
+        from repro.config import rng
+
+        assert rng("still-works").standard_normal(1).shape == (1,)

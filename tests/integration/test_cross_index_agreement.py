@@ -100,4 +100,4 @@ class TestESelectionConsistency:
             sel = eselect(base, probes[i], cond)
             assert {(i, int(r)) for r in sel.ids} <= join_pairs or set(
                 sel.ids.tolist()
-            ) == {r for l, r in join_pairs if l == i}
+            ) == {r for li, r in join_pairs if li == i}

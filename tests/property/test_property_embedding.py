@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.embedding import EmbeddingStore, HashingEmbedder, pluralize
@@ -40,7 +40,7 @@ class TestEmbedderProperties:
             max_size=12,
         )
     )
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60, deadline=None, derandomize=True)
     def test_plural_closer_than_scrambled(self, word):
         """A word (long enough to have shared n-grams) is more similar to
         its plural than to an unrelated token."""
@@ -49,6 +49,13 @@ class TestEmbedderProperties:
         unrelated = "zq" + word[::-1] + "xv"
         if plural == unrelated or word == word[::-1]:
             return
+        # The reversal only works as an "unrelated" token when it shares no
+        # character bigrams with the word (e.g. 'fcyy' vs 'yycf' share 'yy'
+        # and are legitimately similar to an n-gram embedder).
+        bigrams = {word[i : i + 2] for i in range(len(word) - 1)}
+        rev = word[::-1]
+        rev_bigrams = {rev[i : i + 2] for i in range(len(rev) - 1)}
+        assume(not (bigrams & rev_bigrams))
         base = model.embed(word)
         assert float(base @ model.embed(plural)) >= float(
             base @ model.embed(unrelated)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra import ESelectNode, FilterNode, Optimizer, ScanNode
+from repro.algebra import ESelectNode, FilterNode, ScanNode
 from repro.algebra.rules import PushFilterBelowESelect
 from repro.core import ThresholdCondition, TopKCondition
 from repro.embedding import HashingEmbedder

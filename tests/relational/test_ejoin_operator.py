@@ -44,8 +44,8 @@ class TestStreamingEJoin:
         texts = feed.array("text").tolist()
         vocab = words.array("word").tolist()
         expected = {
-            (texts[l], vocab[r])
-            for l, r in zip(bulk.left_ids.tolist(), bulk.right_ids.tolist())
+            (texts[li], vocab[r])
+            for li, r in zip(bulk.left_ids.tolist(), bulk.right_ids.tolist())
         }
         assert got == expected
 
