@@ -4,10 +4,12 @@ A hybrid vector-relational engine in pure Python/NumPy:
 
 * :mod:`repro.relational` — columnar relational substrate,
 * :mod:`repro.embedding` — embedding models (``E_mu``), training, caching,
-* :mod:`repro.vector` — cosine kernels (scalar / vectorized / GEMM),
-* :mod:`repro.index` — flat and HNSW vector indexes,
+* :mod:`repro.vector` — cosine kernels (scalar / vectorized / GEMM) and
+  quantized representations (int8, product quantization),
+* :mod:`repro.index` — flat, IVF, IVF-PQ, and HNSW vector indexes,
 * :mod:`repro.core` — the paper's contribution: E-join operators, tensor
-  formulation, cost model, access-path selection,
+  formulation, quantized access paths, cost model, access-path and
+  precision selection,
 * :mod:`repro.engine` — morsel-driven parallel executor: work-stealing
   scheduling and adaptive, calibration-fed batch sizing,
 * :mod:`repro.algebra` — extended relational algebra and optimizer,
@@ -25,14 +27,17 @@ Quickstart::
 from .config import ReproConfig, configure, get_config, rng, set_seed
 from .core import (
     JoinResult,
+    QuantizedRelation,
     ThresholdCondition,
     TopKCondition,
     ejoin,
+    join_with_precision,
+    quantized_tensor_join,
     tensor_join,
 )
 from .embedding import EmbeddingModel, FastTextModel, HashingEmbedder
 from .engine import BatchPolicy, ExecutionEngine
-from .index import FlatIndex, HNSWIndex
+from .index import FlatIndex, HNSWIndex, IVFPQIndex
 from .query import Engine
 from .relational import Catalog, Col, DataType, Field, Schema, Table
 
@@ -51,7 +56,9 @@ __all__ = [
     "FlatIndex",
     "HNSWIndex",
     "HashingEmbedder",
+    "IVFPQIndex",
     "JoinResult",
+    "QuantizedRelation",
     "ReproConfig",
     "Schema",
     "Table",
@@ -61,6 +68,8 @@ __all__ = [
     "configure",
     "ejoin",
     "get_config",
+    "join_with_precision",
+    "quantized_tensor_join",
     "rng",
     "set_seed",
     "tensor_join",

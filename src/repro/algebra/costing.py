@@ -12,14 +12,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..config import get_config
 from ..core.conditions import TopKCondition
 from ..core.cost_model import (
     CostParams,
+    choose_scan_precision,
     e_selection_cost,
     naive_nlj_cost,
     prefetch_nlj_cost,
     tensor_join_cost,
 )
+from ..core.index_join import DEFAULT_PROBE_K
 from ..errors import PlanError
 from ..relational.catalog import Catalog
 from .logical import (
@@ -66,15 +69,37 @@ def estimate_cost(
     *,
     params: CostParams | None = None,
     default_dim: int = 100,
+    precision: str | None = None,
+    assume_stores_built: bool = False,
 ) -> PlanEstimate:
-    """Estimate total abstract cost and output cardinality of a plan."""
+    """Estimate total abstract cost and output cardinality of a plan.
+
+    ``precision`` selects the operand precision scan E-joins are costed
+    at (``None`` defaults from the config's ``REPRO_PRECISION`` knob);
+    quantized precisions charge the compressed-scan-plus-re-rank
+    equation instead of the fp32 tensor formulation when the chooser
+    would adopt them.  By default the estimate models a *cold* context
+    (the quantizer fit/encode build is charged, matching a first
+    execution); ``assume_stores_built=True`` models a warm engine whose
+    cached :class:`~repro.core.quantized_join.QuantizedRelation` stores
+    amortize the build.
+    """
     params = params or CostParams()
     params.validate()
-    return _estimate(plan, catalog, params, default_dim)
+    if precision is None:
+        precision = get_config().default_precision
+    return _estimate(
+        plan, catalog, params, default_dim, precision, assume_stores_built
+    )
 
 
 def _estimate(
-    node: LogicalNode, catalog: Catalog, params: CostParams, dim: int
+    node: LogicalNode,
+    catalog: Catalog,
+    params: CostParams,
+    dim: int,
+    precision: str = "fp32",
+    stores_built: bool = False,
 ) -> PlanEstimate:
     if isinstance(node, ScanNode):
         rows = float(catalog.cardinality(node.table_name))
@@ -83,7 +108,7 @@ def _estimate(
         return est
 
     if isinstance(node, FilterNode):
-        child = _estimate(node.child, catalog, params, dim)
+        child = _estimate(node.child, catalog, params, dim, precision, stores_built)
         est = PlanEstimate(
             rows=child.rows * DEFAULT_PREDICATE_SELECTIVITY,
             cost=child.cost,
@@ -93,14 +118,14 @@ def _estimate(
         return est
 
     if isinstance(node, (ProjectNode, LimitNode)):
-        child = _estimate(node.children()[0], catalog, params, dim)
+        child = _estimate(node.children()[0], catalog, params, dim, precision, stores_built)
         rows = (
             min(child.rows, node.n) if isinstance(node, LimitNode) else child.rows
         )
         return PlanEstimate(rows=rows, cost=child.cost, breakdown=dict(child.breakdown))
 
     if isinstance(node, EmbedNode):
-        child = _estimate(node.child, catalog, params, dim)
+        child = _estimate(node.child, catalog, params, dim, precision, stores_built)
         est = PlanEstimate(
             rows=child.rows, cost=child.cost, breakdown=dict(child.breakdown)
         )
@@ -108,7 +133,7 @@ def _estimate(
         return est
 
     if isinstance(node, ESelectNode):
-        child = _estimate(node.child, catalog, params, dim)
+        child = _estimate(node.child, catalog, params, dim, precision, stores_built)
         est = PlanEstimate(rows=0.0, cost=child.cost, breakdown=dict(child.breakdown))
         est.add("eselect", e_selection_cost(int(child.rows), dim, params))
         if isinstance(node.condition, TopKCondition):
@@ -118,8 +143,8 @@ def _estimate(
         return est
 
     if isinstance(node, EquiJoinNode):
-        left = _estimate(node.left, catalog, params, dim)
-        right = _estimate(node.right, catalog, params, dim)
+        left = _estimate(node.left, catalog, params, dim, precision, stores_built)
+        right = _estimate(node.right, catalog, params, dim, precision, stores_built)
         est = PlanEstimate(
             rows=max(left.rows, right.rows),
             cost=left.cost + right.cost,
@@ -129,8 +154,8 @@ def _estimate(
         return est
 
     if isinstance(node, EJoinNode):
-        left = _estimate(node.left, catalog, params, dim)
-        right = _estimate(node.right, catalog, params, dim)
+        left = _estimate(node.left, catalog, params, dim, precision, stores_built)
+        right = _estimate(node.right, catalog, params, dim, precision, stores_built)
         est = PlanEstimate(
             rows=0.0,
             cost=left.cost + right.cost,
@@ -141,6 +166,36 @@ def _estimate(
             est.add("ejoin-naive", naive_nlj_cost(n_left, n_right, dim, params))
         elif node.strategy_hint == "nlj":
             est.add("ejoin-nlj", prefetch_nlj_cost(n_left, n_right, dim, params))
+        elif precision in ("int8", "pq"):
+            # Mirror the planner's gate: the quantized equation is charged
+            # only when the chooser would actually adopt the quantized
+            # path (recall floor, cost, and — unless the caller models a
+            # warm engine — the quantizer build), so estimates stay
+            # aligned with what execution runs.
+            k = (
+                node.condition.k
+                if isinstance(node.condition, TopKCondition)
+                else DEFAULT_PROBE_K
+            )
+            decision = choose_scan_precision(
+                n_left,
+                n_right,
+                k,
+                dim,
+                precision=precision,
+                params=params,
+                store_built=stores_built
+                and isinstance(node.right, ScanNode),
+            )
+            if decision.precision == precision:
+                est.add(
+                    f"ejoin-tensor-{precision}", decision.quantized_cost
+                )
+            else:
+                est.add(
+                    "ejoin-tensor",
+                    tensor_join_cost(n_left, n_right, dim, params),
+                )
         else:
             est.add("ejoin-tensor", tensor_join_cost(n_left, n_right, dim, params))
         if isinstance(node.condition, TopKCondition):

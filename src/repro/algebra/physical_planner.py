@@ -15,8 +15,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..config import get_config
 from ..core.conditions import TopKCondition
-from ..core.cost_model import CostParams, choose_access_path
+from ..core.cost_model import (
+    CostParams,
+    choose_access_path,
+    choose_scan_precision,
+)
 from ..core.index_join import DEFAULT_PROBE_K, index_join
 from ..core.join import ejoin
 from ..core.nlj import naive_nlj
@@ -43,6 +48,24 @@ from .logical import (
 )
 
 
+def _vector_token(vectors: np.ndarray) -> tuple:
+    """Cheap fingerprint of an embedding matrix for cache invalidation.
+
+    Shape plus checksums over a strided row sample: O(sample) to compute,
+    and any re-registration of a table with different data (even at equal
+    cardinality) changes it with overwhelming probability.
+    """
+    n = len(vectors)
+    if n == 0:
+        return (0, vectors.shape)
+    sample = vectors[:: max(1, n // 64)]
+    return (
+        vectors.shape,
+        float(sample.sum(dtype=np.float64)),
+        float(np.abs(sample).sum(dtype=np.float64)),
+    )
+
+
 @dataclass
 class ExecutionContext:
     """Everything physical planning needs: data, models, indexes, costs."""
@@ -57,6 +80,10 @@ class ExecutionContext:
     engine: ExecutionEngine = field(default_factory=ExecutionEngine)
     #: model_name -> shared embedding store (embed-once across the query).
     _stores: dict[str, EmbeddingStore] = field(default_factory=dict)
+    #: (table, column, model, method) -> pre-encoded quantized relation.
+    #: Like ``indexes``, these are access-path state built once per
+    #: context and amortized across queries.
+    quant_stores: dict[tuple, object] = field(default_factory=dict)
 
     def store_for(self, model_name: str) -> EmbeddingStore:
         if model_name not in self._stores:
@@ -67,6 +94,65 @@ class ExecutionContext:
         self, table_name: str, column: str, index: VectorIndex
     ) -> None:
         self.indexes[(table_name, column)] = index
+
+    def quant_store_for(
+        self,
+        key: tuple[str, str, str],
+        vectors: np.ndarray,
+        method: str,
+    ):
+        """Fit/encode-once quantized store for a (table, column, model).
+
+        Rebuilt when the source data changed (table re-registration,
+        detected via a cheap strided fingerprint); otherwise every query
+        against the same scan source reuses the encoded codes.
+        """
+        from ..core.quantized_join import QuantizedRelation
+
+        full_key = (*key, method)
+        token = _vector_token(vectors)
+        store = self.quant_stores.get(full_key)
+        if store is None or getattr(store, "source_token", None) != token:
+            store = QuantizedRelation.build(vectors, method)
+            store.source_token = token
+            self.quant_stores[full_key] = store
+        return store
+
+
+def _quantized_scan_decision(
+    ctx: "ExecutionContext",
+    source_node: LogicalNode,
+    column: str,
+    model_name: str,
+    n_left: int,
+    vectors: np.ndarray,
+    k: int,
+):
+    """Shared precision gate for scan-based E-joins and E-selections.
+
+    Returns ``(decision, store_key)``: the chooser's verdict under the
+    configured ``REPRO_PRECISION`` (the fit/encode build is treated as
+    sunk only when a matching cached store already exists), plus the
+    context cache key when the source is a plain table scan (``None``
+    otherwise).
+    """
+    cacheable = isinstance(source_node, ScanNode)
+    store_key = (
+        (source_node.table_name, column, model_name) if cacheable else None
+    )
+    prebuilt = store_key is not None and (
+        *store_key,
+        get_config().default_precision,
+    ) in ctx.quant_stores
+    decision = choose_scan_precision(
+        n_left,
+        len(vectors),
+        k,
+        vectors.shape[1] if vectors.ndim == 2 else 1,
+        params=ctx.cost_params,
+        store_built=prebuilt,
+    )
+    return decision, store_key
 
 
 @dataclass
@@ -120,6 +206,7 @@ def _execute_eselect(
     node: ESelectNode, ctx: ExecutionContext, report: ExecutionReport
 ) -> Table:
     from ..core.eselect import eselect
+    from ..core.quantized_join import quantized_eselect
 
     table = _execute(node.child, ctx, report)
     vectors = _embed_column(table, node.column, node.model_name, ctx)
@@ -127,7 +214,28 @@ def _execute_eselect(
     query = node.query
     if not isinstance(query, np.ndarray):
         query = ctx.store_for(node.model_name).embed_items([query])[0]
-    result = eselect(vectors, query, node.condition, model=model)
+    k = (
+        node.condition.k
+        if isinstance(node.condition, TopKCondition)
+        else DEFAULT_PROBE_K
+    )
+    # A plain table scan source lets the context cache the encoded store;
+    # a cold one-shot selection stays on the exact fp32 scan unless the
+    # compressed scan wins even with the build charged.
+    decision, store_key = _quantized_scan_decision(
+        ctx, node.child, node.column, node.model_name, 1, vectors, k
+    )
+    if decision.precision in ("int8", "pq"):
+        relation = vectors
+        if store_key is not None:
+            relation = ctx.quant_store_for(
+                store_key, vectors, decision.precision
+            )
+        result = quantized_eselect(
+            relation, query, node.condition, method=decision.precision
+        )
+    else:
+        result = eselect(vectors, query, node.condition, model=model)
     report.strategies.append(result.stats.strategy)
     report.join_stats.append(result.stats)
     out = table.take(result.ids)
@@ -241,11 +349,40 @@ def _execute_ejoin(
     else:
         left_vectors = _embed_column(left, node.left_column, node.model_name, ctx)
         right_vectors = _embed_column(right, node.right_column, node.model_name, ctx)
+        scan_strategy = strategy or "tensor"
+        right_input = right_vectors
+        if scan_strategy == "tensor":
+            # The REPRO_PRECISION knob may substitute a reduced-precision
+            # scan; quantized paths are additionally gated on the
+            # configured accuracy floor and modelled cost (including the
+            # fit/encode build unless a cached store already amortized it).
+            k = (
+                node.condition.k
+                if isinstance(node.condition, TopKCondition)
+                else DEFAULT_PROBE_K
+            )
+            decision, store_key = _quantized_scan_decision(
+                ctx,
+                node.right,
+                node.right_column,
+                node.model_name,
+                len(left_vectors),
+                right_vectors,
+                k,
+            )
+            if decision.precision in ("int8", "pq"):
+                scan_strategy = f"tensor-{decision.precision}"
+                if store_key is not None:
+                    right_input = ctx.quant_store_for(
+                        store_key, right_vectors, decision.precision
+                    )
+            elif get_config().default_precision == "fp16":
+                scan_strategy = "tensor-fp16"
         result = ejoin(
             left_vectors,
-            right_vectors,
+            right_input,
             node.condition,
-            strategy=strategy or "tensor",
+            strategy=scan_strategy,
             engine=ctx.engine,
         )
     report.strategies.append(result.stats.strategy)

@@ -1,10 +1,18 @@
 """Benchmark harness for reproducing the paper's figures and tables."""
 
-from .harness import RESULTS_DIR, FigureReport, median_time, speedup, time_call
+from .harness import (
+    RESULTS_DIR,
+    FigureReport,
+    git_revision,
+    median_time,
+    speedup,
+    time_call,
+)
 
 __all__ = [
     "FigureReport",
     "RESULTS_DIR",
+    "git_revision",
     "median_time",
     "speedup",
     "time_call",

@@ -36,6 +36,7 @@ EXPERIMENTS = {
     "fig15": "test_fig15_topk1_selectivity.py",
     "fig16": "test_fig16_topk32_selectivity.py",
     "fig17": "test_fig17_range_selectivity.py",
+    "fig_quant": "test_fig_quant.py",
     "ablation-normalization": "test_ablation_normalization.py",
     "ablation-eselection": "test_ablation_eselection_cost.py",
     "ablation-fp16": "test_ablation_fp16.py",

@@ -8,14 +8,58 @@ measured numbers.
 
 from __future__ import annotations
 
+import json
 import os
 import statistics
+import subprocess
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 #: Where figure reports are written (relative to the repo root / CWD).
 RESULTS_DIR = Path("bench_results")
+
+
+def git_revision() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def _config_snapshot() -> dict:
+    """Engine knobs in effect for this benchmark process."""
+    from ..config import get_config
+
+    config = get_config()
+    return {
+        "seed": config.seed,
+        "threads": config.default_threads,
+        "morsel_rows": config.default_morsel_rows,
+        "buffer_budget_bytes": config.default_buffer_budget_bytes,
+        "precision": config.default_precision,
+        "rerank_multiple": config.default_rerank_multiple,
+        "work_stealing": config.work_stealing,
+        "smoke": os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0"),
+    }
+
+
+def _jsonable(value):
+    """Coerce NumPy scalars and other non-JSON values to plain Python."""
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
 
 
 def results_dir() -> Path:
@@ -102,11 +146,42 @@ class FigureReport:
         path.write_text(self.render() + "\n", encoding="utf-8")
         return path
 
+    def to_json(self) -> dict:
+        """Machine-readable report: rows plus run provenance.
+
+        Wall times live in the rows (whatever time columns the scenario
+        measures); ``config`` and ``git_rev`` pin down the engine knobs
+        and code revision they were measured at, so the perf trajectory
+        is comparable across PRs.
+        """
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [_jsonable(row) for row in self.rows],
+            "notes": list(self.notes),
+            "config": _config_snapshot(),
+            "git_rev": git_revision(),
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        }
+
+    def save_json(self, directory: Path | None = None) -> Path:
+        """Persist the machine-readable ``BENCH_<figure>.json`` twin."""
+        directory = results_dir() if directory is None else directory
+        directory.mkdir(parents=True, exist_ok=True)
+        name = self.figure.lower().replace(" ", "_")
+        path = directory / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(self.to_json(), indent=2) + "\n", encoding="utf-8"
+        )
+        return path
+
     def emit(self) -> None:
         """Print and persist (the standard end-of-benchmark call)."""
         text = self.render()
         print("\n" + text)
         self.save()
+        self.save_json()
 
 
 def speedup(baseline_s: float, optimized_s: float) -> float:

@@ -40,6 +40,15 @@ class ReproConfig:
             operator defaults.
         work_stealing: Whether engine workers steal queued morsels from
             each other (disable to get static partitioning).
+        default_precision: Operand precision scan joins run at when the
+            caller does not pin one: ``fp32`` (exact), ``fp16`` (half-
+            precision storage), or the quantized access paths ``int8`` /
+            ``pq`` (approximate scan + exact re-rank).
+        default_min_recall: Accuracy floor the optimizer must respect
+            before it may substitute a quantized access path.
+        default_rerank_multiple: Top-k candidate multiple for quantized
+            scans — each probe re-ranks ``multiple * k`` candidates in
+            fp32.
     """
 
     seed: int = DEFAULT_SEED
@@ -49,6 +58,9 @@ class ReproConfig:
     default_morsel_rows: int = 1024
     default_buffer_budget_bytes: int | None = None
     work_stealing: bool = True
+    default_precision: str = "fp32"
+    default_min_recall: float = 0.95
+    default_rerank_multiple: int = 4
     extra: dict = field(default_factory=dict)
 
     def stream_seed(self, name: str) -> int:
@@ -105,6 +117,22 @@ def _config_from_env() -> ReproConfig:
     budget_bytes = _env_number("REPRO_BUFFER_BUDGET_MB", _budget)
     if budget_bytes is not None:
         config.default_buffer_budget_bytes = budget_bytes
+    precision = os.environ.get("REPRO_PRECISION", "")
+    if precision:
+        if precision in ("fp32", "fp16", "int8", "pq"):
+            config.default_precision = precision
+        else:
+            import warnings
+
+            warnings.warn(
+                f"ignoring unknown REPRO_PRECISION={precision!r} "
+                "(expected fp32|fp16|int8|pq)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    rerank = _env_number("REPRO_RERANK_MULTIPLE", int)
+    if rerank is not None:
+        config.default_rerank_multiple = max(1, rerank)
     # Same convention as REPRO_BENCH_SMOKE: unset, empty, or "0" mean off.
     if os.environ.get("REPRO_NO_WORK_STEALING", "") not in ("", "0"):
         config.work_stealing = False

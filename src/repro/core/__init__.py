@@ -13,13 +13,18 @@ from .precision import (
 from .cost_model import (
     AccessPathDecision,
     CostParams,
+    PrecisionDecision,
     choose_access_path,
+    choose_scan_precision,
     crossover_selectivity,
     e_selection_cost,
     index_join_cost,
     index_probe_cost,
     naive_nlj_cost,
+    precision_code_bytes,
     prefetch_nlj_cost,
+    quantized_recall_estimate,
+    quantized_scan_join_cost,
     scan_join_cost_filtered,
     tensor_join_cost,
 )
@@ -27,6 +32,12 @@ from .index_join import DEFAULT_PROBE_K, build_index_for_join, index_join
 from .join import STRATEGIES, ejoin
 from .nlj import naive_nlj, prefetch_nlj
 from .parallel import parallel_join, partition_rows
+from .quantized_join import (
+    QUANT_METHODS,
+    QuantizedRelation,
+    quantized_eselect,
+    quantized_tensor_join,
+)
 from .result import JoinResult, JoinStats
 from .tensor_join import resolve_batch_shape, tensor_join, tensor_join_non_batched
 
@@ -48,6 +59,15 @@ __all__ = [
     "JoinCondition",
     "JoinResult",
     "JoinStats",
+    "PrecisionDecision",
+    "QUANT_METHODS",
+    "QuantizedRelation",
+    "choose_scan_precision",
+    "precision_code_bytes",
+    "quantized_eselect",
+    "quantized_recall_estimate",
+    "quantized_scan_join_cost",
+    "quantized_tensor_join",
     "STRATEGIES",
     "ThresholdCondition",
     "TopKCondition",

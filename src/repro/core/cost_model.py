@@ -176,6 +176,169 @@ def scan_join_cost_filtered(
 
 
 # ----------------------------------------------------------------------
+# Quantized access paths (Section V-A-2 carried to int8/PQ)
+# ----------------------------------------------------------------------
+def precision_code_bytes(precision: str, dim: int, *, pq_m: int = 8) -> int:
+    """Stored bytes per vector at each operand precision."""
+    if precision == "fp32":
+        return 4 * dim
+    if precision == "fp16":
+        return 2 * dim
+    if precision == "int8":
+        return dim
+    if precision == "pq":
+        return pq_m
+    raise JoinError(f"unknown precision {precision!r}")
+
+
+def quantized_scan_join_cost(
+    n_left: int,
+    n_base: int,
+    dim: int,
+    params: CostParams,
+    *,
+    bytes_per_code: int,
+    rerank_k: int,
+    lut_adds: int | None = None,
+) -> float:
+    """Quantized tensor-join cost: compressed scan plus exact re-rank.
+
+    The pairwise access term scales with the code-to-fp32 byte ratio (the
+    memory-traffic lever quantization pulls); the approximate compute term
+    runs ``lut_adds`` fused adds per pair (``dim`` for int8's GEMM over
+    codes, ``m`` for PQ's table lookups).  Each probe then re-ranks
+    ``rerank_k`` candidates at full precision.
+    """
+    full_bytes = 4.0 * dim
+    traffic = min(bytes_per_code / full_bytes, 1.0)
+    adds = dim if lut_adds is None else lut_adds
+    c_approx = params.compute_per_dim * adds * params.gemm_efficiency
+    scan = n_left * n_base * (params.access * traffic + c_approx)
+    c_full = params.compute_per_dim * dim
+    rerank = n_left * rerank_k * (params.access + c_full)
+    model = (n_left + n_base) * params.model
+    return scan + rerank + model
+
+
+def quantized_build_cost(
+    n_base: int,
+    dim: int,
+    params: CostParams,
+    *,
+    precision: str,
+    pq_ks: int = 256,
+    kmeans_iters: int = 10,
+) -> float:
+    """One-time cost of fitting and encoding a quantized relation.
+
+    int8 pays one elementwise pass over the relation (min/max fit plus
+    affine encode); PQ additionally trains ``ks`` centroids per subspace
+    with ``kmeans_iters`` GEMM-assignment sweeps.  Charged by the
+    precision chooser whenever no pre-built store amortizes it — this is
+    what keeps one-shot selections on the exact fp32 scan.
+    """
+    per_row = params.compute_per_dim * dim
+    if precision == "pq":
+        per_row += (
+            kmeans_iters
+            * pq_ks
+            * params.compute_per_dim
+            * dim
+            * params.gemm_efficiency
+        )
+    return n_base * per_row
+
+
+def quantized_recall_estimate(
+    precision: str, *, rerank_multiple: int = 4
+) -> float:
+    """Heuristic recall@k estimate for a quantized scan with re-ranking.
+
+    int8's score error is bounded by half the affine step norm — tiny
+    against typical score gaps — while PQ's grows with the quantization
+    residual; the candidate multiple recovers boundary misses roughly
+    proportionally.  Constants calibrated against the ``fig_quant``
+    embedding-like workload (int8 measures ~1.0, PQ ~0.97 at multiple 8).
+    """
+    base_miss = {"fp32": 0.0, "fp16": 0.002, "int8": 0.04, "pq": 0.2}
+    if precision not in base_miss:
+        raise JoinError(f"unknown precision {precision!r}")
+    return 1.0 - base_miss[precision] / max(rerank_multiple, 1)
+
+
+@dataclass(frozen=True)
+class PrecisionDecision:
+    """Outcome of quantized-vs-fp32 scan selection."""
+
+    precision: str  # chosen operand precision for the scan
+    fp32_cost: float
+    quantized_cost: float
+    estimated_recall: float
+
+
+def choose_scan_precision(
+    n_left: int,
+    n_base: int,
+    k: int,
+    dim: int,
+    *,
+    precision: str | None = None,
+    params: CostParams | None = None,
+    rerank_multiple: int | None = None,
+    min_recall: float | None = None,
+    pq_m: int = 8,
+    store_built: bool = False,
+) -> PrecisionDecision:
+    """Pick the scan's operand precision under an accuracy constraint.
+
+    The configured (or requested) precision is adopted only when its
+    estimated recall clears ``min_recall`` *and* its modelled cost beats
+    the fp32 scan; otherwise the decision falls back to fp32.  ``None``
+    arguments default from the process-wide config (the
+    ``REPRO_PRECISION`` knob).  Unless ``store_built`` says a
+    pre-encoded :class:`~repro.core.quantized_join.QuantizedRelation`
+    already exists, the one-time fit/encode cost is charged too — a
+    single probe over a cold relation should stay on the exact scan.
+    """
+    from ..config import get_config
+
+    config = get_config()
+    precision = config.default_precision if precision is None else precision
+    rerank_multiple = (
+        config.default_rerank_multiple
+        if rerank_multiple is None
+        else rerank_multiple
+    )
+    min_recall = (
+        config.default_min_recall if min_recall is None else min_recall
+    )
+    params = params or CostParams()
+    params.validate()
+    fp32 = tensor_join_cost(n_left, n_base, dim, params)
+    if precision not in ("int8", "pq"):
+        return PrecisionDecision("fp32", fp32, math.inf, 1.0)
+    recall = quantized_recall_estimate(
+        precision, rerank_multiple=rerank_multiple
+    )
+    quantized = quantized_scan_join_cost(
+        n_left,
+        n_base,
+        dim,
+        params,
+        bytes_per_code=precision_code_bytes(precision, dim, pq_m=pq_m),
+        rerank_k=min(rerank_multiple * k, n_base),
+        lut_adds=pq_m if precision == "pq" else None,
+    )
+    if not store_built:
+        quantized += quantized_build_cost(
+            n_base, dim, params, precision=precision
+        )
+    if recall >= min_recall and quantized < fp32:
+        return PrecisionDecision(precision, fp32, quantized, recall)
+    return PrecisionDecision("fp32", fp32, quantized, 1.0)
+
+
+# ----------------------------------------------------------------------
 # Access-path selection
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

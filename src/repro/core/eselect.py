@@ -60,7 +60,9 @@ def _query_vector(query, model: EmbeddingModel | None, stats: JoinStats) -> np.n
     if model is None:
         raise JoinError("a raw query item requires an embedding model")
     stats.model_calls += 1
-    return model.embed(query)
+    # Unit-normalize unconditionally: downstream probes assume unit rows
+    # (models normalize by default, but it is optional).
+    return normalize_vector(model.embed(query))
 
 
 def eselect(
@@ -132,7 +134,7 @@ def eselect_index(
     else:
         assert isinstance(condition, ThresholdCondition)
         k, post = probe_k, condition.threshold
-    found = index.search(qvec, k, allowed=allowed)
+    found = index.search(qvec, k, allowed=allowed, assume_normalized=True)
     ids, scores = found.ids, found.scores
     if post is not None:
         keep = scores >= post

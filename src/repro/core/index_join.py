@@ -62,7 +62,8 @@ def _probe_rows(
     out_r: list[np.ndarray] = []
     out_s: list[np.ndarray] = []
     for i in range(lo, hi):
-        found = index.search(left_n[i], k, allowed=allowed)
+        # Probe rows were normalized once, as a batch, by the caller.
+        found = index.search(left_n[i], k, allowed=allowed, assume_normalized=True)
         ids, scores = found.ids, found.scores
         if post_threshold is not None:
             keep = scores >= post_threshold

@@ -16,10 +16,11 @@ from ..errors import JoinError
 from ..index.base import VectorIndex
 from ..vector.kernels import Kernel
 from .conditions import JoinCondition, TopKCondition, validate_condition
-from .cost_model import CostParams, choose_access_path
+from .cost_model import CostParams, choose_access_path, choose_scan_precision
 from .index_join import DEFAULT_PROBE_K, index_join
 from .nlj import naive_nlj, prefetch_nlj
 from .parallel import parallel_join
+from .quantized_join import quantized_tensor_join
 from .result import JoinResult
 from .tensor_join import tensor_join
 
@@ -30,6 +31,9 @@ STRATEGIES = (
     "nlj",
     "nlj-scalar",
     "tensor",
+    "tensor-fp16",
+    "tensor-int8",
+    "tensor-pq",
     "parallel-tensor",
     "index",
 )
@@ -140,6 +144,37 @@ def ejoin(
             engine=engine,
         )
 
+    if strategy == "tensor-fp16":
+        if right is None:
+            raise JoinError("tensor-fp16 requires an explicit right input")
+        from .precision import tensor_join_fp16
+
+        return tensor_join_fp16(
+            left,
+            right,
+            condition,
+            model=model,
+            batch_left=batch_left,
+            batch_right=batch_right,
+            buffer_budget_bytes=buffer_budget_bytes,
+            engine=engine,
+        )
+
+    if strategy in ("tensor-int8", "tensor-pq"):
+        if right is None:
+            raise JoinError(f"{strategy} requires an explicit right input")
+        return quantized_tensor_join(
+            left,
+            right,
+            condition,
+            method=strategy.removeprefix("tensor-"),
+            model=model,
+            batch_left=batch_left,
+            batch_right=batch_right,
+            buffer_budget_bytes=buffer_budget_bytes,
+            engine=engine,
+        )
+
     if strategy == "parallel-tensor":
         if right is None:
             raise JoinError("parallel-tensor requires an explicit right input")
@@ -206,8 +241,34 @@ def _auto_strategy(
         if index is None:
             raise JoinError("auto strategy needs either right input or index")
         return "index"
-    # Scan path: single-threaded tensor for small inputs, parallel beyond.
+    # Scan path: the configured precision may substitute a reduced-
+    # precision scan (fp16 storage, or quantized codes + exact re-rank)
+    # for the fp32 tensor formulation.  Quantized substitution goes
+    # through the same cost/recall gate the planner applies — including
+    # the per-call fit/encode build, which ejoin cannot amortize — so a
+    # join too small to pay for quantizer training stays on fp32.
+    from ..config import get_config
+
     n_right = len(right)
+    precision = get_config().default_precision
+    if precision == "fp16":
+        return "tensor-fp16"
+    if precision in ("int8", "pq"):
+        if isinstance(condition, TopKCondition):
+            k = condition.k
+        else:
+            k = DEFAULT_PROBE_K if probe_k is None else probe_k
+        dim = (
+            right.shape[1]
+            if isinstance(right, np.ndarray) and right.ndim == 2
+            else get_config().default_dim
+        )
+        decision = choose_scan_precision(
+            n_left, n_right, k, dim, params=cost_params, store_built=False
+        )
+        if decision.precision in ("int8", "pq"):
+            return f"tensor-{decision.precision}"
+    # Single-threaded tensor for small inputs, parallel beyond.
     if n_left * n_right >= 4_000_000 and isinstance(left, np.ndarray):
         return "parallel-tensor"
     return "tensor"

@@ -27,8 +27,11 @@ from .nlj import _as_matrix
 from .result import JoinResult, JoinStats
 from .tensor_join import tensor_join
 
-#: Supported storage precisions for the tensor join operands.
-PRECISIONS = ("fp32", "fp16")
+#: Supported storage precisions for the tensor join operands.  ``fp32`` /
+#: ``fp16`` scan exactly at full/half operand width; ``int8`` / ``pq``
+#: dispatch to the quantized access paths (approximate code scan plus
+#: exact fp32 re-rank, :mod:`repro.core.quantized_join`).
+PRECISIONS = ("fp32", "fp16", "int8", "pq")
 
 
 def quantize_fp16(matrix: np.ndarray) -> np.ndarray:
@@ -58,6 +61,7 @@ def tensor_join_fp16(
     batch_left: int | None = None,
     batch_right: int | None = None,
     buffer_budget_bytes: int | None = None,
+    engine=None,
 ) -> JoinResult:
     """Tensor join with FP16-quantized operands.
 
@@ -93,6 +97,7 @@ def tensor_join_fp16(
         batch_right=batch_right,
         buffer_budget_bytes=buffer_budget_bytes,
         assume_normalized=False,  # re-normalize: quantization perturbs norms
+        engine=engine,
     )
     stats.peak_buffer_elements = inner.stats.peak_buffer_elements
     stats.batch_invocations = inner.stats.batch_invocations
@@ -119,6 +124,18 @@ def join_with_precision(
             left,
             right,
             condition,
+            model=model,
+            batch_left=batch_left,
+            batch_right=batch_right,
+        )
+    if precision in ("int8", "pq"):
+        from .quantized_join import quantized_tensor_join
+
+        return quantized_tensor_join(
+            left,
+            right,
+            condition,
+            method=precision,
             model=model,
             batch_left=batch_left,
             batch_right=batch_right,

@@ -9,6 +9,7 @@ from .filtering import (
 )
 from .flat import FlatIndex
 from .ivf import IVFFlatIndex, kmeans
+from .ivfpq import IVFPQIndex
 from .hnsw import (
     HNSWIndex,
     PAPER_CONFIG_HI,
@@ -21,6 +22,7 @@ __all__ = [
     "FlatIndex",
     "HNSWIndex",
     "IVFFlatIndex",
+    "IVFPQIndex",
     "kmeans",
     "IndexStats",
     "PAPER_CONFIG_HI",

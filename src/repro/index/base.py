@@ -106,12 +106,15 @@ class VectorIndex(abc.ABC):
         k: int,
         *,
         allowed: np.ndarray | None = None,
+        assume_normalized: bool = False,
     ) -> SearchResult:
         """Top-k most similar ids for one query vector.
 
         ``allowed`` is an optional boolean bitmap over stored ids: the
         relational pre-filter.  Ids with ``allowed[id] == False`` never
-        appear in results.
+        appear in results.  ``assume_normalized`` skips the per-probe
+        query normalization when the caller already holds unit rows
+        (stored vectors are always normalized once, on ingest).
         """
 
     def search_batch(
@@ -120,14 +123,24 @@ class VectorIndex(abc.ABC):
         k: int,
         *,
         allowed: np.ndarray | None = None,
+        assume_normalized: bool = False,
     ) -> list[SearchResult]:
-        """Probe many queries (the paper's join-as-batched-search)."""
+        """Probe many queries (the paper's join-as-batched-search).
+
+        Queries are normalized once as a batch (one vectorized pass)
+        rather than per probe inside :meth:`search`.
+        """
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim != 2 or queries.shape[1] != self.dim:
             raise DimensionalityError(
                 f"expected (n, {self.dim}) queries, got shape {queries.shape}"
             )
-        return [self.search(q, k, allowed=allowed) for q in queries]
+        if not assume_normalized:
+            queries = normalize_rows(queries)
+        return [
+            self.search(q, k, allowed=allowed, assume_normalized=True)
+            for q in queries
+        ]
 
     def _require_built(self) -> None:
         if len(self._vectors) == 0:

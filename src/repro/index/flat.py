@@ -27,9 +27,12 @@ class FlatIndex(VectorIndex):
         k: int,
         *,
         allowed: np.ndarray | None = None,
+        assume_normalized: bool = False,
     ) -> SearchResult:
         self._require_built()
-        query = normalize_vector(np.asarray(query, dtype=np.float32))
+        query = np.asarray(query, dtype=np.float32)
+        if not assume_normalized:
+            query = normalize_vector(query)
         sims = self._vectors @ query
         self.stats.count(probes=1, distances=len(sims))
         if allowed is not None:

@@ -240,6 +240,7 @@ class HNSWIndex(VectorIndex):
         k: int,
         *,
         allowed: np.ndarray | None = None,
+        assume_normalized: bool = False,
     ) -> SearchResult:
         self._require_built()
         if allowed is not None:
@@ -249,7 +250,9 @@ class HNSWIndex(VectorIndex):
                     f"pre-filter bitmap shape {allowed.shape} != "
                     f"({len(self._vectors)},)"
                 )
-        query = normalize_vector(np.asarray(query, dtype=np.float32))
+        query = np.asarray(query, dtype=np.float32)
+        if not assume_normalized:
+            query = normalize_vector(query)
         assert self._entry_point is not None
 
         current = self._entry_point

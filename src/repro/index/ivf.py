@@ -26,11 +26,15 @@ def kmeans(
     *,
     n_iters: int = 10,
     rng: np.random.Generator | None = None,
+    spherical: bool = True,
 ) -> np.ndarray:
-    """Spherical k-means over unit vectors; returns unit centroids.
+    """K-means clustering; spherical by default, plain Lloyd otherwise.
 
-    Similarity-based assignment (argmax dot) with mean-and-renormalize
-    updates; empty clusters are reseeded from random points.
+    Spherical (the coarse-quantizer default for unit vectors): assignment
+    by argmax dot with mean-and-renormalize updates.  Non-spherical (the
+    product-quantizer codebooks, whose subspace slices are not unit
+    vectors): assignment by Euclidean distance with plain mean updates.
+    Empty clusters are reseeded from random points either way.
     """
     if n_clusters < 1:
         raise IndexError_(f"n_clusters must be >= 1, got {n_clusters}")
@@ -39,14 +43,22 @@ def kmeans(
     n_clusters = min(n_clusters, n)
     centroids = data[rng.choice(n, size=n_clusters, replace=False)].copy()
     for _ in range(n_iters):
-        assign = np.argmax(data @ centroids.T, axis=1)
+        if spherical:
+            assign = np.argmax(data @ centroids.T, axis=1)
+        else:
+            # argmin ||x - c||^2 == argmax (x.c - ||c||^2 / 2)
+            obj = data @ centroids.T - 0.5 * np.einsum(
+                "ij,ij->i", centroids, centroids
+            )
+            assign = np.argmax(obj, axis=1)
         for c in range(n_clusters):
             members = data[assign == c]
             if len(members) == 0:
                 centroids[c] = data[int(rng.integers(n))]
             else:
                 centroids[c] = members.mean(axis=0)
-        centroids = normalize_rows(centroids)
+        if spherical:
+            centroids = normalize_rows(centroids)
     return centroids
 
 
@@ -99,10 +111,13 @@ class IVFFlatIndex(VectorIndex):
         k: int,
         *,
         allowed: np.ndarray | None = None,
+        assume_normalized: bool = False,
     ) -> SearchResult:
         self._require_built()
         assert self._centroids is not None
-        query = normalize_vector(np.asarray(query, dtype=np.float32))
+        query = np.asarray(query, dtype=np.float32)
+        if not assume_normalized:
+            query = normalize_vector(query)
 
         centroid_sims = self._centroids @ query
         self.stats.count(probes=1, distances=len(centroid_sims))

@@ -57,6 +57,7 @@ class Engine:
 
     def __post_init__(self) -> None:
         self._indexes: dict[tuple[str, str], VectorIndex] = {}
+        self._quant_stores: dict[tuple, object] = {}
 
     def register_index(self, table: str, column: str, index: VectorIndex) -> None:
         """Attach a built vector index to ``table.column``."""
@@ -68,8 +69,14 @@ class Engine:
         return QueryBuilder(self, ScanNode(table_name))
 
     def context(self) -> ExecutionContext:
+        # The quantized-store dict is shared (not copied) so encoded
+        # relations built during one query amortize across every later
+        # query on this engine, like registered indexes.
         ctx = ExecutionContext(
-            self.catalog, models=self.models, cost_params=self.cost_params
+            self.catalog,
+            models=self.models,
+            cost_params=self.cost_params,
+            quant_stores=self._quant_stores,
         )
         for key, index in self._indexes.items():
             ctx.indexes[key] = index

@@ -119,11 +119,24 @@ class Column:
         return Column(Field(name, f.dtype, f.dim, f.nullable), self.data)
 
     def concat(self, other: "Column") -> "Column":
-        if other.field.dtype is not self.field.dtype or other.field.dim != self.field.dim:
-            raise TypeMismatchError(
-                f"cannot concat {self.field} with {other.field}"
-            )
-        return Column(self.field, np.concatenate([self.data, other.data]))
+        return Column.concat_all([self, other])
+
+    @classmethod
+    def concat_all(cls, columns: "list[Column]") -> "Column":
+        """Concatenate many same-typed columns in one allocation.
+
+        The n-ary form of :meth:`concat`: one ``np.concatenate`` instead
+        of a quadratic chain of pairwise copies.
+        """
+        if not columns:
+            raise TypeMismatchError("concat_all needs at least one column")
+        first = columns[0].field
+        for col in columns[1:]:
+            if col.field.dtype is not first.dtype or col.field.dim != first.dim:
+                raise TypeMismatchError(
+                    f"cannot concat {first} with {col.field}"
+                )
+        return Column(first, np.concatenate([c.data for c in columns]))
 
     def nbytes(self) -> int:
         """Approximate memory footprint in bytes."""

@@ -43,13 +43,16 @@ class PhysicalOperator:
         raise NotImplementedError
 
     def execute(self) -> Table:
-        """Materialise the full operator output as one table."""
-        out: Table | None = None
-        for batch in self.batches():
-            out = batch if out is None else out.concat_rows(batch)
-        if out is None:
+        """Materialise the full operator output as one table.
+
+        Batches accumulate in a list and concatenate once — one copy of
+        the output data, instead of the O(n^2) bytes a pairwise
+        concat-per-batch chain would touch.
+        """
+        batches = list(self.batches())
+        if not batches:
             return Table.empty(self.output_schema)
-        return out
+        return Table.concat_all(batches)
 
     def explain(self, depth: int = 0) -> str:
         """Indented textual representation of the operator subtree."""

@@ -168,16 +168,32 @@ class Table:
     # Table-level operations
     # ------------------------------------------------------------------
     def concat_rows(self, other: "Table") -> "Table":
-        if self.schema.names != other.schema.names:
-            raise SchemaError(
-                f"cannot concat tables with schemas {self.schema.names} and "
-                f"{other.schema.names}"
-            )
+        return Table.concat_all([self, other])
+
+    @classmethod
+    def concat_all(cls, tables: "list[Table]") -> "Table":
+        """Vertically concatenate many same-schema tables at once.
+
+        Each column is assembled with a single ``np.concatenate`` over all
+        parts, so materializing ``n`` operator batches costs one copy of
+        the data instead of the quadratic pairwise-concat chain.
+        """
+        if not tables:
+            raise SchemaError("concat_all needs at least one table")
+        first = tables[0]
+        for other in tables[1:]:
+            if other.schema.names != first.schema.names:
+                raise SchemaError(
+                    f"cannot concat tables with schemas {first.schema.names} "
+                    f"and {other.schema.names}"
+                )
+        if len(tables) == 1:
+            return first
         cols = {
-            name: self.columns[name].concat(other.columns[name])
-            for name in self.schema.names
+            name: Column.concat_all([t.columns[name] for t in tables])
+            for name in first.schema.names
         }
-        return Table(self.schema, cols)
+        return Table(first.schema, cols)
 
     def zip_columns(
         self, other: "Table", *, prefixes: tuple[str, str] = ("l_", "r_")

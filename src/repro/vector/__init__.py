@@ -11,10 +11,15 @@ from .kernels import (
     dot_scalar,
 )
 from .norms import is_normalized, l2_norms, normalize_rows, normalize_vector
+from .quant import Int8Quantizer, ProductQuantizer, VectorQuantizer, int8_dot
 from .topk import StreamingTopK, top_k_indices, top_k_per_row
 
 __all__ = [
+    "Int8Quantizer",
     "Kernel",
+    "ProductQuantizer",
+    "VectorQuantizer",
+    "int8_dot",
     "StreamingTopK",
     "cosine_matrix",
     "cosine_matrix_gemm",

@@ -10,6 +10,7 @@ from .selectivity import (
 from .strings import DirtyStringWorkload, generate_dirty_strings
 from .synthetic import (
     clustered_vectors,
+    embedding_like_vectors,
     paired_relations,
     random_vectors,
     unit_vectors,
@@ -19,6 +20,7 @@ __all__ = [
     "DirtyStringWorkload",
     "SEL_ATTR",
     "clustered_vectors",
+    "embedding_like_vectors",
     "filter_bitmap",
     "generate_dirty_strings",
     "paired_relations",

@@ -70,6 +70,58 @@ def clustered_vectors(
     return normalize_rows(vectors), labels.astype(np.int64)
 
 
+def embedding_like_vectors(
+    n: int,
+    dim: int,
+    *,
+    rank: int = 48,
+    n_clusters: int = 128,
+    noise: float = 0.25,
+    spectrum_decay: float = 0.75,
+    stream: str = "embedding-like",
+    seed: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectors mimicking real embedding geometry: clustered, low-rank,
+    power-law spectrum.
+
+    Trained embeddings concentrate variance in a few leading directions
+    (a decaying singular spectrum) and live near a low-dimensional,
+    clustered manifold — exactly the structure product quantization
+    exploits (a flat isotropic cloud is PQ's worst case: the quantization
+    residual and the ranking signal are then the *same* noise).  Vectors
+    are drawn around ``n_clusters`` centroids in a ``rank``-dimensional
+    latent space whose axes are scaled ``(i + 1) ** -spectrum_decay``,
+    then rotated into ``dim`` dimensions and unit-normalized.
+
+    Returns ``(vectors, labels)``.
+    """
+    if not 1 <= rank <= dim:
+        raise WorkloadError(f"rank must be in [1, {dim}], got {rank}")
+    if n_clusters < 1:
+        raise WorkloadError(f"n_clusters must be >= 1, got {n_clusters}")
+    if noise < 0:
+        raise WorkloadError(f"noise must be >= 0, got {noise}")
+    rng = (
+        np.random.default_rng(seed)
+        if seed is not None
+        else get_config().rng(stream)
+    )
+    spectrum = ((np.arange(rank) + 1.0) ** -spectrum_decay).astype(np.float32)
+    centroids = normalize_rows(
+        rng.standard_normal((n_clusters, rank)).astype(np.float32) * spectrum
+    )
+    labels = rng.integers(n_clusters, size=n)
+    latent = centroids[labels] + (
+        noise / np.sqrt(rank)
+    ) * rng.standard_normal((n, rank)).astype(np.float32) * spectrum
+    # Random orthonormal rotation embeds the latent manifold in dim-space.
+    basis, _ = np.linalg.qr(rng.standard_normal((dim, rank)))
+    return (
+        normalize_rows(latent @ basis.T.astype(np.float32)),
+        labels.astype(np.int64),
+    )
+
+
 def paired_relations(
     n_left: int,
     n_right: int,

@@ -111,7 +111,21 @@ class TestDispatch:
         )
         assert result.stats.strategy == "tensor-fp16"
 
+    def test_int8_dispatch(self, small_vectors):
+        left, right = small_vectors
+        result = join_with_precision(
+            left, right, TopKCondition(1), precision="int8"
+        )
+        assert result.stats.strategy == "tensor-int8"
+
+    def test_pq_dispatch(self, small_vectors):
+        left, right = small_vectors
+        result = join_with_precision(
+            left, right, TopKCondition(1), precision="pq"
+        )
+        assert result.stats.strategy == "tensor-pq"
+
     def test_unknown_precision(self, small_vectors):
         left, right = small_vectors
         with pytest.raises(JoinError, match="unknown precision"):
-            join_with_precision(left, right, TopKCondition(1), precision="int8")
+            join_with_precision(left, right, TopKCondition(1), precision="int4")

@@ -1,0 +1,120 @@
+"""Unit tests for the IVF-PQ index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_, IndexNotBuiltError
+from repro.index import FlatIndex, IVFPQIndex
+from repro.workloads import embedding_like_vectors, unit_vectors
+
+pytestmark = pytest.mark.quant
+
+
+@pytest.fixture(scope="module")
+def base() -> np.ndarray:
+    data, _ = embedding_like_vectors(
+        2000, 32, rank=12, n_clusters=32, noise=0.8, seed=55
+    )
+    return data
+
+
+@pytest.fixture(scope="module")
+def queries(base) -> np.ndarray:
+    return unit_vectors(30, 32, seed=56)
+
+
+@pytest.fixture(scope="module")
+def index(base) -> IVFPQIndex:
+    idx = IVFPQIndex(
+        32, nlist=16, nprobe=16, m=4, ks=64, rerank_multiple=16, seed=57
+    )
+    idx.add(base)
+    return idx
+
+
+@pytest.fixture(scope="module")
+def flat(base) -> FlatIndex:
+    idx = FlatIndex(32)
+    idx.add(base)
+    return idx
+
+
+class TestSearch:
+    def test_recall_against_flat(self, index, flat, queries):
+        hits = total = 0
+        for q in queries:
+            ref = flat.search(q, 10)
+            got = index.search(q, 10)
+            hits += len(set(ref.ids.tolist()) & set(got.ids.tolist()))
+            total += len(ref.ids)
+        assert hits / total >= 0.9
+
+    def test_exact_when_everything_reranked(self, base, flat, queries):
+        idx = IVFPQIndex(
+            32, nlist=4, nprobe=4, m=4, ks=64,
+            rerank_multiple=len(base), seed=58,
+        )
+        idx.add(base)
+        for q in queries[:5]:
+            ref = flat.search(q, 5)
+            got = idx.search(q, 5)
+            assert got.ids.tolist() == ref.ids.tolist()
+            np.testing.assert_allclose(got.scores, ref.scores, atol=1e-5)
+
+    def test_scores_are_exact_fp32(self, index, base, queries):
+        got = index.search(queries[0], 5)
+        expected = base[got.ids] @ queries[0]
+        np.testing.assert_allclose(got.scores, expected, atol=1e-5)
+
+    def test_prefilter_respected(self, index, base, queries):
+        allowed = np.zeros(len(base), dtype=bool)
+        allowed[:100] = True
+        got = index.search(queries[0], 5, allowed=allowed)
+        assert (got.ids < 100).all()
+
+    def test_prefilter_shape_validated(self, index, queries):
+        with pytest.raises(IndexError_, match="bitmap shape"):
+            index.search(queries[0], 3, allowed=np.ones(7, dtype=bool))
+
+    def test_assume_normalized_skips_renormalization(self, index, queries):
+        a = index.search(queries[0], 5)
+        b = index.search(queries[0], 5, assume_normalized=True)
+        assert a.ids.tolist() == b.ids.tolist()
+
+    def test_search_batch(self, index, queries):
+        results = index.search_batch(queries[:4], 3)
+        assert len(results) == 4
+        assert all(len(r) == 3 for r in results)
+
+
+class TestStructure:
+    def test_code_compression(self, index, base):
+        assert index.code_bytes == len(base) * 4
+        assert index.code_bytes * 32 == base.nbytes  # 4B*32d vs 4 codes
+
+    def test_lists_partition_everything(self, index, base):
+        assert sum(index.list_sizes()) == len(base)
+
+    def test_probe_counters(self, base, queries):
+        idx = IVFPQIndex(32, nlist=8, nprobe=2, m=4, ks=16, seed=59)
+        idx.add(base)
+        before = idx.stats.n_probes
+        idx.search(queries[0], 3)
+        assert idx.stats.n_probes == before + 1
+        assert idx.stats.distance_computations > 0
+
+    def test_describe(self, index):
+        text = index.describe()
+        assert "IVFPQ" in text and "m=4" in text
+
+    def test_requires_build(self):
+        with pytest.raises(IndexNotBuiltError):
+            IVFPQIndex(8).search(np.ones(8, np.float32), 1)
+
+    def test_invalid_params(self):
+        with pytest.raises(IndexError_):
+            IVFPQIndex(8, nlist=0)
+        with pytest.raises(IndexError_):
+            IVFPQIndex(8, nprobe=0)
+        with pytest.raises(IndexError_):
+            IVFPQIndex(8, rerank_multiple=0)

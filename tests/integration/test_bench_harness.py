@@ -1,8 +1,11 @@
 """Unit tests for the benchmark harness."""
 
+import json
+
+import numpy as np
 import pytest
 
-from repro.bench import FigureReport, median_time, speedup, time_call
+from repro.bench import FigureReport, git_revision, median_time, speedup, time_call
 
 
 class TestTimeCall:
@@ -72,3 +75,39 @@ class TestFigureReport:
     def test_empty_report_renders(self):
         report = FigureReport("figY", "empty", ("col",))
         assert "figY" in report.render()
+
+
+class TestMachineReadableReport:
+    def make(self):
+        report = FigureReport("figX", "demo", ("name", "seconds"))
+        report.add("fp32", np.float32(1.5))  # NumPy scalars must serialize
+        report.add("int8", 0.75)
+        report.note("provenance note")
+        return report
+
+    def test_save_json_writes_bench_file(self, tmp_path):
+        path = self.make().save_json(tmp_path)
+        assert path.name == "BENCH_figx.json"
+        payload = json.loads(path.read_text())
+        assert payload["figure"] == "figX"
+        assert payload["columns"] == ["name", "seconds"]
+        assert payload["rows"] == [["fp32", 1.5], ["int8", 0.75]]
+        assert payload["notes"] == ["provenance note"]
+
+    def test_json_carries_config_and_revision(self, tmp_path):
+        payload = json.loads(self.make().save_json(tmp_path).read_text())
+        assert "precision" in payload["config"]
+        assert "buffer_budget_bytes" in payload["config"]
+        assert isinstance(payload["git_rev"], str) and payload["git_rev"]
+        assert payload["created_at"]
+
+    def test_json_next_to_text_report(self, tmp_path):
+        report = self.make()
+        report.save(tmp_path)
+        report.save_json(tmp_path)
+        assert (tmp_path / "figx.txt").exists()
+        assert (tmp_path / "BENCH_figx.json").exists()
+
+    def test_git_revision_is_stringy(self):
+        rev = git_revision()
+        assert isinstance(rev, str) and rev

@@ -85,6 +85,45 @@ class TestEnvOverrides:
         assert proc.returncode == 0, proc.stderr
         assert proc.stdout.split() == ["2", "524288"]
 
+    def test_precision_env_applies(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import repro; c = repro.get_config(); "
+                "print(c.default_precision, c.default_rerank_multiple)",
+            ],
+            capture_output=True,
+            text=True,
+            env={
+                "PYTHONPATH": "src",
+                "REPRO_PRECISION": "int8",
+                "REPRO_RERANK_MULTIPLE": "8",
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.split() == ["int8", "8"]
+
+    def test_unknown_precision_warns_and_falls_back(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import repro; print(repro.get_config().default_precision)",
+            ],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "REPRO_PRECISION": "int3"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "fp32"
+
 
 class TestConfigure:
     def test_rejects_method_names(self):
