@@ -14,6 +14,8 @@ A hybrid vector-relational engine in pure Python/NumPy:
   scheduling and adaptive, calibration-fed batch sizing,
 * :mod:`repro.algebra` — extended relational algebra and optimizer,
 * :mod:`repro.query` — declarative query builder,
+* :mod:`repro.service` — concurrent query service: admission control,
+  cross-query shared-scan batching, plan + semantic result caches,
 * :mod:`repro.workloads` — seeded synthetic workload generators,
 * :mod:`repro.bench` — figure/table reproduction harness.
 
@@ -40,6 +42,7 @@ from .engine import BatchPolicy, ExecutionEngine
 from .index import FlatIndex, HNSWIndex, IVFPQIndex
 from .query import Engine
 from .relational import Catalog, Col, DataType, Field, Schema, Table
+from .service import QueryService, SessionHandle
 
 __version__ = "1.1.0"
 
@@ -59,8 +62,10 @@ __all__ = [
     "IVFPQIndex",
     "JoinResult",
     "QuantizedRelation",
+    "QueryService",
     "ReproConfig",
     "Schema",
+    "SessionHandle",
     "Table",
     "ThresholdCondition",
     "TopKCondition",

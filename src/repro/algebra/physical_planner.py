@@ -11,6 +11,7 @@ enabled by the optimizer.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -84,11 +85,36 @@ class ExecutionContext:
     #: Like ``indexes``, these are access-path state built once per
     #: context and amortized across queries.
     quant_stores: dict[tuple, object] = field(default_factory=dict)
+    #: (table, column, model) -> (source token, unit-normalized matrix).
+    #: Shared-scan state: one normalization serves every query (and every
+    #: concurrent session) scanning the same column under the same model.
+    norm_cache: dict[tuple, tuple] = field(default_factory=dict)
+    #: Serializes bookkeeping on every shared store above.  Contexts
+    #: minted by one :class:`~repro.query.builder.Engine` share its lock
+    #: (and its store dicts), so concurrent sessions cannot duplicate or
+    #: corrupt encode/normalize/fit work.  Heavyweight builds hold a
+    #: *per-source* lock from ``store_key_locks`` instead, so cold
+    #: queries on unrelated sources never serialize on each other.
+    store_lock: threading.RLock = field(default_factory=threading.RLock)
+    #: source key -> build lock (shared across contexts like the stores).
+    store_key_locks: dict = field(default_factory=dict)
+    #: Attribution tag for this query's scheduler runs (service-assigned).
+    query_tag: str | None = None
+
+    def _build_lock(self, key: tuple) -> threading.Lock:
+        with self.store_lock:
+            lock = self.store_key_locks.get(key)
+            if lock is None:
+                lock = self.store_key_locks[key] = threading.Lock()
+            return lock
 
     def store_for(self, model_name: str) -> EmbeddingStore:
-        if model_name not in self._stores:
-            self._stores[model_name] = EmbeddingStore(self.models.get(model_name))
-        return self._stores[model_name]
+        with self.store_lock:
+            if model_name not in self._stores:
+                self._stores[model_name] = EmbeddingStore(
+                    self.models.get(model_name)
+                )
+            return self._stores[model_name]
 
     def register_index(
         self, table_name: str, column: str, index: VectorIndex
@@ -111,12 +137,38 @@ class ExecutionContext:
 
         full_key = (*key, method)
         token = _vector_token(vectors)
-        store = self.quant_stores.get(full_key)
-        if store is None or getattr(store, "source_token", None) != token:
-            store = QuantizedRelation.build(vectors, method)
-            store.source_token = token
-            self.quant_stores[full_key] = store
-        return store
+        with self._build_lock(("quant", *full_key)):
+            with self.store_lock:
+                store = self.quant_stores.get(full_key)
+            if store is None or getattr(store, "source_token", None) != token:
+                store = QuantizedRelation.build(vectors, method)
+                store.source_token = token
+                with self.store_lock:
+                    self.quant_stores[full_key] = store
+            return store
+
+    def normalized_matrix_for(
+        self, key: tuple[str, str, str], vectors: np.ndarray
+    ) -> np.ndarray:
+        """Normalize-once matrix for a (table, column, model) scan source.
+
+        The cached matrix is exactly ``normalize_rows(vectors)``, so scans
+        that consume it with ``assume_normalized=True`` compute the same
+        bits as a cold scan that normalizes inline — sharing never changes
+        results.  Invalidated by the same strided source fingerprint the
+        quantized stores use.
+        """
+        from ..vector.norms import normalize_rows
+
+        token = _vector_token(vectors)
+        with self._build_lock(("norm", *key)):
+            with self.store_lock:
+                cached = self.norm_cache.get(key)
+            if cached is None or cached[0] != token:
+                cached = (token, normalize_rows(vectors))
+                with self.store_lock:
+                    self.norm_cache[key] = cached
+            return cached[1]
 
 
 def _quantized_scan_decision(
@@ -233,6 +285,15 @@ def _execute_eselect(
             )
         result = quantized_eselect(
             relation, query, node.condition, method=decision.precision
+        )
+    elif store_key is not None:
+        # Scan sources share one normalize-once matrix across queries and
+        # sessions; eselect's exact-rescore contract makes the shared and
+        # inline-normalized paths bit-identical.
+        normalized = ctx.normalized_matrix_for(store_key, vectors)
+        result = eselect(
+            normalized, query, node.condition, model=model,
+            assume_normalized=True,
         )
     else:
         result = eselect(vectors, query, node.condition, model=model)

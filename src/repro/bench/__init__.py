@@ -3,7 +3,9 @@
 from .harness import (
     RESULTS_DIR,
     FigureReport,
+    Seconds,
     git_revision,
+    latency_percentiles,
     median_time,
     speedup,
     time_call,
@@ -12,7 +14,9 @@ from .harness import (
 __all__ = [
     "FigureReport",
     "RESULTS_DIR",
+    "Seconds",
     "git_revision",
+    "latency_percentiles",
     "median_time",
     "speedup",
     "time_call",

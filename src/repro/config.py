@@ -49,6 +49,24 @@ class ReproConfig:
         default_rerank_multiple: Top-k candidate multiple for quantized
             scans — each probe re-ranks ``multiple * k`` candidates in
             fp32.
+        service_max_inflight: Admission-control bound on concurrently
+            executing queries in a :class:`~repro.service.QueryService`.
+        service_admission_timeout_s: How long an over-limit submission
+            waits for an execution slot before being rejected with
+            backpressure.
+        service_coalesce_window_s: How long the first query of a shared-
+            scan group waits for concurrently-submitted queries on the
+            same (table, column, model) before executing the batch.
+        service_coalesce_max_batch: Upper bound on queries fused into one
+            shared scan.
+        service_plan_cache_size: Entries in the service's logical-plan
+            fingerprint -> optimized-plan cache.
+        service_result_cache_size: Entries in the semantic result cache.
+        service_result_cache_ttl_s: Result-cache entry time-to-live.
+        service_near_dup_threshold: Cosine similarity above which a cached
+            result is served for a *different* query vector (approximate
+            semantic hit).  ``None`` (default) serves exact-key hits only,
+            keeping service results bit-identical to serial execution.
     """
 
     seed: int = DEFAULT_SEED
@@ -61,6 +79,14 @@ class ReproConfig:
     default_precision: str = "fp32"
     default_min_recall: float = 0.95
     default_rerank_multiple: int = 4
+    service_max_inflight: int = 64
+    service_admission_timeout_s: float = 30.0
+    service_coalesce_window_s: float = 0.002
+    service_coalesce_max_batch: int = 64
+    service_plan_cache_size: int = 256
+    service_result_cache_size: int = 512
+    service_result_cache_ttl_s: float = 300.0
+    service_near_dup_threshold: float | None = None
     extra: dict = field(default_factory=dict)
 
     def stream_seed(self, name: str) -> int:
@@ -133,6 +159,29 @@ def _config_from_env() -> ReproConfig:
     rerank = _env_number("REPRO_RERANK_MULTIPLE", int)
     if rerank is not None:
         config.default_rerank_multiple = max(1, rerank)
+    # Service knobs: the fig_service benchmark (and any deployment
+    # wrapper) forwards concurrency/caching settings through these.
+    inflight = _env_number("REPRO_SERVICE_MAX_INFLIGHT", int)
+    if inflight is not None:
+        config.service_max_inflight = max(1, inflight)
+    window_ms = _env_number("REPRO_SERVICE_COALESCE_WINDOW_MS", float)
+    if window_ms is not None:
+        config.service_coalesce_window_s = max(0.0, window_ms) / 1000.0
+    coalesce_batch = _env_number("REPRO_SERVICE_COALESCE_MAX_BATCH", int)
+    if coalesce_batch is not None:
+        config.service_coalesce_max_batch = max(1, coalesce_batch)
+    plan_cache = _env_number("REPRO_SERVICE_PLAN_CACHE", int)
+    if plan_cache is not None:
+        config.service_plan_cache_size = max(0, plan_cache)
+    result_cache = _env_number("REPRO_SERVICE_RESULT_CACHE", int)
+    if result_cache is not None:
+        config.service_result_cache_size = max(0, result_cache)
+    result_ttl = _env_number("REPRO_SERVICE_RESULT_TTL_S", float)
+    if result_ttl is not None:
+        config.service_result_cache_ttl_s = max(0.0, result_ttl)
+    near_dup = _env_number("REPRO_SERVICE_NEARDUP", float)
+    if near_dup is not None:
+        config.service_near_dup_threshold = min(1.0, max(-1.0, near_dup))
     # Same convention as REPRO_BENCH_SMOKE: unset, empty, or "0" mean off.
     if os.environ.get("REPRO_NO_WORK_STEALING", "") not in ("", "0"):
         config.work_stealing = False

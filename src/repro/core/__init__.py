@@ -2,7 +2,15 @@
 
 from .calibration import CalibrationReport, calibrate, calibrated_params
 from .conditions import JoinCondition, ThresholdCondition, TopKCondition
-from .eselect import SelectionResult, eselect, eselect_index
+from .eselect import (
+    PRESCREEN_MARGIN,
+    TOPK_PRESCREEN_PAD,
+    SelectionResult,
+    eselect,
+    eselect_index,
+    exact_threshold_select,
+    exact_topk_select,
+)
 from .precision import (
     PRECISIONS,
     join_with_precision,
@@ -46,7 +54,11 @@ __all__ = [
     "CalibrationReport",
     "CostParams",
     "PRECISIONS",
+    "PRESCREEN_MARGIN",
     "SelectionResult",
+    "TOPK_PRESCREEN_PAD",
+    "exact_threshold_select",
+    "exact_topk_select",
     "calibrate",
     "calibrated_params",
     "eselect",

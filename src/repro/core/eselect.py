@@ -10,6 +10,15 @@ Both access paths are provided:
 
 * :func:`eselect` — scan-based, exact, any condition;
 * :func:`eselect_index` — probe-based, approximate, top-k-native.
+
+The scan path runs as **prescreen + exact rescore**: a fast BLAS pass
+produces approximate scores whose only job is to select a provable
+candidate superset, and the emitted rows are then re-scored with the
+shape-stable :func:`~repro.vector.kernels.stable_dot_scores` kernel.
+Emitted ids and scores are therefore a pure function of the data and the
+query — independent of how the scan was blocked or batched — which is
+what lets the concurrent query service's cross-query shared scans return
+bit-identical results to serial execution.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ import numpy as np
 from ..embedding.base import EmbeddingModel
 from ..errors import DimensionalityError, JoinError
 from ..index.base import VectorIndex
+from ..vector.kernels import stable_dot_scores
 from ..vector.norms import normalize_rows, normalize_vector
 from ..vector.topk import top_k_indices
 from .conditions import (
@@ -31,6 +41,17 @@ from .conditions import (
 )
 from .nlj import _as_matrix
 from .result import JoinStats
+
+#: Margin subtracted from prescreen thresholds so float rounding in the
+#: approximate BLAS pass can never exclude a row the exact kernel would
+#: emit.  Dot products of unit vectors deviate from the exact value by
+#: O(d * eps_fp32) ~ 1e-4 at d = 2048; 1e-3 is a safe bound for any
+#: realistic embedding dimensionality.
+PRESCREEN_MARGIN = 1e-3
+
+#: Extra prescreen candidates retained beyond ``k`` for top-k conditions,
+#: before the margin-widening pass proves the candidate set complete.
+TOPK_PRESCREEN_PAD = 32
 
 
 class SelectionResult:
@@ -65,12 +86,58 @@ def _query_vector(query, model: EmbeddingModel | None, stats: JoinStats) -> np.n
     return normalize_vector(model.embed(query))
 
 
+def exact_threshold_select(
+    normalized: np.ndarray,
+    candidates: np.ndarray,
+    qvec: np.ndarray,
+    threshold: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact threshold selection over a prescreened candidate superset.
+
+    ``candidates`` must contain every row whose *exact* score could reach
+    ``threshold`` (guaranteed when they were selected with approximate
+    score >= ``threshold - PRESCREEN_MARGIN``).  Returns ``(ids, scores)``
+    in ascending-id order with shape-stable exact scores — identical for
+    any candidate superset, so serial and coalesced scans agree bitwise.
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    exact = stable_dot_scores(normalized[candidates], qvec)
+    keep = exact >= threshold
+    return candidates[keep], exact[keep]
+
+
+def exact_topk_select(
+    normalized: np.ndarray,
+    candidates: np.ndarray,
+    qvec: np.ndarray,
+    k: int,
+    *,
+    min_similarity: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact top-k selection over a prescreened candidate superset.
+
+    ``candidates`` must contain every row whose exact score ties or beats
+    the true k-th best.  Selection is by (exact score descending, id
+    ascending) — :func:`top_k_indices` semantics — so any valid superset
+    yields the same ids and scores.
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    exact = stable_dot_scores(normalized[candidates], qvec)
+    order = np.lexsort((candidates, -exact))[: min(k, len(candidates))]
+    ids, scores = candidates[order], exact[order]
+    if min_similarity is not None:
+        keep = scores >= min_similarity
+        ids, scores = ids[keep], scores[keep]
+    return ids, scores
+
+
 def eselect(
     relation,
     query,
     condition: JoinCondition,
     *,
     model: EmbeddingModel | None = None,
+    assume_normalized: bool = False,
 ) -> SelectionResult:
     """Scan-based E-selection: exact, expression-flexible.
 
@@ -78,6 +145,9 @@ def eselect(
         relation: ``(n, d)`` embeddings or raw items (prefetch-embedded).
         query: a query vector or raw item.
         condition: threshold (``cos >= t``) or top-k condition.
+        assume_normalized: skip row normalization when the relation is
+            already unit-normalized (e.g. a context-cached normalized
+            matrix shared across queries).
     """
     validate_condition(condition)
     stats = JoinStats(strategy="eselect/scan")
@@ -89,19 +159,39 @@ def eselect(
         raise DimensionalityError(
             f"relation dim {matrix.shape[1]} != query dim {qvec.shape[0]}"
         )
-    scores = normalize_rows(matrix) @ qvec
-    stats.similarity_evaluations = len(scores)
+    normalized = matrix if assume_normalized else normalize_rows(matrix)
+    approx = normalized @ qvec
+    stats.similarity_evaluations = len(approx)
 
     if isinstance(condition, ThresholdCondition):
-        ids = np.nonzero(scores >= condition.threshold)[0]
+        candidates = np.nonzero(
+            approx >= condition.threshold - PRESCREEN_MARGIN
+        )[0]
+        ids, scores = exact_threshold_select(
+            normalized, candidates, qvec, condition.threshold
+        )
     else:
         assert isinstance(condition, TopKCondition)
-        ids = top_k_indices(scores, condition.k)
-        if condition.min_similarity is not None:
-            ids = ids[scores[ids] >= condition.min_similarity]
+        n = len(approx)
+        kpad = min(n, condition.k + TOPK_PRESCREEN_PAD)
+        candidates = top_k_indices(approx, kpad)
+        if kpad < n and len(candidates):
+            # Widen to a provable superset: any row whose exact score can
+            # tie or beat the running k-th best has approximate score
+            # within the margin of it.
+            exact_cand = stable_dot_scores(normalized[candidates], qvec)
+            kth = np.sort(exact_cand)[::-1][min(condition.k, len(exact_cand)) - 1]
+            candidates = np.nonzero(approx >= kth - PRESCREEN_MARGIN)[0]
+        ids, scores = exact_topk_select(
+            normalized,
+            candidates,
+            qvec,
+            condition.k,
+            min_similarity=condition.min_similarity,
+        )
     stats.seconds = time.perf_counter() - start
     stats.pairs_emitted = len(ids)
-    return SelectionResult(ids, scores[ids], stats)
+    return SelectionResult(ids, scores, stats)
 
 
 def eselect_index(

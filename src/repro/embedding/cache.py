@@ -12,6 +12,8 @@ Two pieces of Section III-C / IV-A live here:
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..errors import EmbeddingError
@@ -19,21 +21,30 @@ from .base import EmbeddingModel
 
 
 class EmbeddingStore:
-    """Materialised item → embedding mapping for one model."""
+    """Materialised item → embedding mapping for one model.
+
+    Thread-safe: concurrent sessions of the query service share one store
+    per model, so the get-or-embed path is serialized by an internal lock —
+    two threads racing on the same new items embed them exactly once, and
+    readers never observe a half-updated ``items``/``vectors`` pair.
+    """
 
     def __init__(self, model: EmbeddingModel) -> None:
         self.model = model
         self._items: list = []
         self._key_to_id: dict = {}
         self._vectors = np.empty((0, model.dim), dtype=np.float32)
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._items)
+        with self._lock:
+            return len(self._items)
 
     @property
     def vectors(self) -> np.ndarray:
         """The ``(n, dim)`` embedding matrix (no copy)."""
-        return self._vectors
+        with self._lock:
+            return self._vectors
 
     def add_items(self, items: list) -> np.ndarray:
         """Embed and store new items; returns their ids.
@@ -42,48 +53,56 @@ class EmbeddingStore:
         model cost M exactly once — the linear model-cost bound of the
         prefetch formulation).
         """
-        new_items = [it for it in items if it not in self._key_to_id]
-        if new_items:
-            # De-duplicate while preserving order.
-            seen: dict = {}
-            uniques = [seen.setdefault(it, it) for it in new_items if it not in seen]
-            vectors = self.model.embed_batch(uniques)
-            base = len(self._items)
-            for offset, item in enumerate(uniques):
-                self._key_to_id[item] = base + offset
-            self._items.extend(uniques)
-            self._vectors = (
-                vectors
-                if len(self._vectors) == 0
-                else np.vstack([self._vectors, vectors])
+        with self._lock:
+            new_items = [it for it in items if it not in self._key_to_id]
+            if new_items:
+                # De-duplicate while preserving order.
+                seen: dict = {}
+                uniques = [seen.setdefault(it, it) for it in new_items if it not in seen]
+                vectors = self.model.embed_batch(uniques)
+                base = len(self._items)
+                for offset, item in enumerate(uniques):
+                    self._key_to_id[item] = base + offset
+                self._items.extend(uniques)
+                self._vectors = (
+                    vectors
+                    if len(self._vectors) == 0
+                    else np.vstack([self._vectors, vectors])
+                )
+            return np.asarray(
+                [self._key_to_id[it] for it in items], dtype=np.int64
             )
-        return np.asarray([self._key_to_id[it] for it in items], dtype=np.int64)
 
     def embed_items(self, items: list) -> np.ndarray:
         """Embeddings for ``items`` (adding any that are missing)."""
-        ids = self.add_items(items)
-        return self._vectors[ids]
+        with self._lock:
+            ids = self.add_items(items)
+            return self._vectors[ids]
 
     def id_of(self, item) -> int:
-        if item not in self._key_to_id:
-            raise EmbeddingError(f"item {item!r} is not in the store")
-        return self._key_to_id[item]
+        with self._lock:
+            if item not in self._key_to_id:
+                raise EmbeddingError(f"item {item!r} is not in the store")
+            return self._key_to_id[item]
 
     def decode_id(self, item_id: int):
         """Exact decode: unique id → original item (Section III-C)."""
-        if not 0 <= item_id < len(self._items):
-            raise EmbeddingError(
-                f"id {item_id} out of range [0, {len(self._items)})"
-            )
-        return self._items[item_id]
+        with self._lock:
+            if not 0 <= item_id < len(self._items):
+                raise EmbeddingError(
+                    f"id {item_id} out of range [0, {len(self._items)})"
+                )
+            return self._items[item_id]
 
     def decode_vector(self, vector: np.ndarray):
         """Nearest-neighbour decode: vector → closest stored item."""
-        if len(self._items) == 0:
-            raise EmbeddingError("cannot decode against an empty store")
-        vector = np.asarray(vector, dtype=np.float32)
-        sims = self._vectors @ vector
-        return self._items[int(np.argmax(sims))]
+        with self._lock:
+            if len(self._items) == 0:
+                raise EmbeddingError("cannot decode against an empty store")
+            vector = np.asarray(vector, dtype=np.float32)
+            sims = self._vectors @ vector
+            return self._items[int(np.argmax(sims))]
 
     def items(self) -> list:
-        return list(self._items)
+        with self._lock:
+            return list(self._items)

@@ -11,6 +11,8 @@ functions over row ranges; the engine decides placement and shape.
 
 from __future__ import annotations
 
+import copy
+import threading
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
@@ -22,15 +24,53 @@ from .scheduler import SchedulerStats, WorkStealingScheduler
 #: Minimum morsels per worker the engine aims for, so stealing has slack.
 MORSELS_PER_WORKER = 4
 
+#: Cap on distinct per-tag counters retained in :class:`EngineStats`.
+#: A long-running service tags every query uniquely; without a bound the
+#: attribution dict would grow one entry per query forever.  Beyond the
+#: cap the oldest tags fold into the ``"<evicted>"`` aggregate.
+MAX_TRACKED_TAGS = 1024
+
 
 @dataclass
 class EngineStats:
-    """Cumulative scheduling counters across an engine's lifetime."""
+    """Cumulative scheduling counters across an engine's lifetime.
+
+    Updates go through :meth:`record` under an internal lock: a service
+    runs many queries on one engine concurrently, and per-tag morsel
+    attribution (``by_tag``) must not lose counts to racing increments.
+    ``by_tag`` keeps at most :data:`MAX_TRACKED_TAGS` recent tags; older
+    ones are folded into an ``"<evicted>"`` aggregate so total counts
+    stay exact while memory stays bounded.
+    """
 
     runs: int = 0
     morsels_dispatched: int = 0
     steals: int = 0
+    #: query/group tag -> morsels dispatched under that tag.
+    by_tag: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record(self, run_stats: SchedulerStats, *, tag: str | None = None) -> None:
+        """Fold one scheduler run into the cumulative counters."""
+        with self._lock:
+            self.runs += 1
+            self.morsels_dispatched += run_stats.n_tasks
+            self.steals += run_stats.steals
+            if tag is not None:
+                self.by_tag[tag] = self.by_tag.get(tag, 0) + run_stats.n_tasks
+                while (
+                    len(self.by_tag) - ("<evicted>" in self.by_tag)
+                    > MAX_TRACKED_TAGS
+                ):
+                    oldest = next(
+                        key for key in self.by_tag if key != "<evicted>"
+                    )
+                    self.by_tag["<evicted>"] = (
+                        self.by_tag.get("<evicted>", 0) + self.by_tag.pop(oldest)
+                    )
 
 
 class ExecutionEngine:
@@ -71,6 +111,22 @@ class ExecutionEngine:
             config.work_stealing if work_stealing is None else work_stealing
         )
         self.stats = EngineStats()
+        #: Attribution tag stamped on this engine's scheduler runs; set
+        #: via :meth:`with_tag` so concurrent queries sharing one engine
+        #: each carry their own tag.
+        self.tag: str | None = None
+
+    def with_tag(self, tag: str | None) -> "ExecutionEngine":
+        """A shallow view of this engine that tags its scheduler runs.
+
+        The view shares the scheduler configuration, batch policy, and
+        (crucially) the cumulative :class:`EngineStats` with the parent —
+        only the attribution tag differs, so a service can hand each
+        concurrent query a tagged handle onto one shared engine.
+        """
+        view = copy.copy(self)
+        view.tag = tag
+        return view
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -88,7 +144,7 @@ class ExecutionEngine:
         if self.n_threads > 1:
             target = -(-n_rows // (self.n_threads * MORSELS_PER_WORKER))
             rows = max(1, min(rows, target))
-        return make_morsels(n_rows, rows)
+        return make_morsels(n_rows, rows, tag=self.tag)
 
     def map_morsels(
         self, n_rows: int, task: Callable[[Morsel], object]
@@ -113,9 +169,7 @@ class ExecutionEngine:
             self.n_threads, work_stealing=self.work_stealing
         )
         results = scheduler.run(tasks, stats=run_stats)
-        self.stats.runs += 1
-        self.stats.morsels_dispatched += run_stats.n_tasks
-        self.stats.steals += run_stats.steals
+        self.stats.record(run_stats, tag=self.tag)
         return results
 
     # ------------------------------------------------------------------

@@ -69,3 +69,16 @@ class BufferBudgetError(JoinError):
 
 class WorkloadError(ReproError):
     """A synthetic workload generator received invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """The concurrent query service was misused or failed internally."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission control rejected a query: no execution slot freed up
+    within the submission's backpressure timeout."""
+
+
+class SessionClosedError(ServiceError):
+    """A query was submitted through a closed session handle."""

@@ -22,6 +22,7 @@ Example::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..algebra.logical import (
@@ -39,7 +40,9 @@ from ..algebra.optimizer import Optimizer
 from ..algebra.physical_planner import ExecutionContext, ExecutionReport, execute
 from ..core.conditions import ThresholdCondition, TopKCondition
 from ..core.cost_model import CostParams
+from ..embedding.cache import EmbeddingStore
 from ..embedding.registry import ModelRegistry
+from ..engine import ExecutionEngine
 from ..errors import PlanError
 from ..index.base import VectorIndex
 from ..relational.catalog import Catalog
@@ -57,27 +60,112 @@ class Engine:
 
     def __post_init__(self) -> None:
         self._indexes: dict[tuple[str, str], VectorIndex] = {}
+        self._index_epoch = 0
         self._quant_stores: dict[tuple, object] = {}
+        self._embed_stores: dict[str, EmbeddingStore] = {}
+        self._norm_cache: dict[tuple, tuple] = {}
+        # One lock serializes get-or-build on every shared store, so
+        # concurrent sessions (the query service) cannot duplicate or
+        # corrupt encode/normalize/fit work.
+        self._store_lock = threading.RLock()
+        # One morsel-driven executor is shared by every query on this
+        # engine (built lazily so later ``repro.configure(...)`` calls
+        # still take effect): cumulative scheduling stats in one place,
+        # and the query service can attribute morsels per query via
+        # tagged views.
+        self._executor: ExecutionEngine | None = None
+        self._executor_signature: tuple | None = None
+        self._executor_pinned = False
+
+    @staticmethod
+    def _current_executor_signature() -> tuple:
+        from ..config import cpu_count, get_config
+
+        config = get_config()
+        return (
+            cpu_count(),
+            config.default_morsel_rows,
+            config.default_buffer_budget_bytes,
+            config.work_stealing,
+        )
+
+    @property
+    def executor(self) -> ExecutionEngine:
+        """The engine's shared morsel executor.
+
+        Built lazily from the current configuration and rebuilt (with
+        fresh stats) when the relevant config knobs change afterwards —
+        so ``repro.configure(default_threads=...)`` keeps working on an
+        already-constructed engine.  Assigning an executor explicitly
+        pins it, disabling config tracking.
+        """
+        with self._store_lock:
+            if self._executor is not None and self._executor_pinned:
+                return self._executor
+            signature = self._current_executor_signature()
+            if self._executor is None or signature != self._executor_signature:
+                self._executor = ExecutionEngine()
+                self._executor_signature = signature
+            return self._executor
+
+    @executor.setter
+    def executor(self, engine: ExecutionEngine) -> None:
+        with self._store_lock:
+            self._executor = engine
+            self._executor_pinned = True
+
+    def embed_store_for(self, model_name: str) -> EmbeddingStore:
+        """Shared embed-once store for ``model_name`` (get-or-create)."""
+        with self._store_lock:
+            if model_name not in self._embed_stores:
+                self._embed_stores[model_name] = EmbeddingStore(
+                    self.models.get(model_name)
+                )
+            return self._embed_stores[model_name]
 
     def register_index(self, table: str, column: str, index: VectorIndex) -> None:
-        """Attach a built vector index to ``table.column``."""
+        """Attach a built vector index to ``table.column``.
+
+        Bumps :attr:`index_epoch`: a new index can change the physical
+        access path (and thus results, for approximate indexes), so any
+        cached results keyed on the epoch stop matching.
+        """
         self.catalog.get(table)  # validate the table exists
         self._indexes[(table, column)] = index
+        self._index_epoch += 1
+
+    @property
+    def index_epoch(self) -> int:
+        """Counter of index registrations (result-cache key component)."""
+        return self._index_epoch
 
     def query(self, table_name: str) -> "QueryBuilder":
         self.catalog.get(table_name)  # validate early
         return QueryBuilder(self, ScanNode(table_name))
 
-    def context(self) -> ExecutionContext:
-        # The quantized-store dict is shared (not copied) so encoded
-        # relations built during one query amortize across every later
-        # query on this engine, like registered indexes.
+    def serve(self, **kwargs):
+        """A :class:`~repro.service.QueryService` fronting this engine."""
+        from ..service import QueryService
+
+        return QueryService(self, **kwargs)
+
+    def context(self, *, tag: str | None = None) -> ExecutionContext:
+        # The store dicts are shared (not copied) so encoded/normalized/
+        # embedded relations built during one query amortize across every
+        # later query on this engine, like registered indexes.  ``tag``
+        # names the query for per-query morsel attribution in the shared
+        # executor's stats.
         ctx = ExecutionContext(
             self.catalog,
             models=self.models,
             cost_params=self.cost_params,
             quant_stores=self._quant_stores,
+            norm_cache=self._norm_cache,
+            store_lock=self._store_lock,
+            engine=self.executor.with_tag(tag),
+            query_tag=tag,
         )
+        ctx._stores = self._embed_stores
         for key, index in self._indexes.items():
             ctx.indexes[key] = index
         return ctx

@@ -69,11 +69,21 @@ class Catalog:
 
     def __init__(self) -> None:
         self._entries: dict[str, CatalogEntry] = {}
+        self._versions: dict[str, int] = {}
 
     def register(self, name: str, table: Table, *, replace: bool = False) -> None:
         if name in self._entries and not replace:
             raise SchemaError(f"table {name!r} already registered")
         self._entries[name] = CatalogEntry(table)
+        # Monotonic per-name version: never reset on drop, so any cache
+        # keyed by (name, version) is invalidated by re-registration even
+        # through a drop/register cycle.
+        self._versions[name] = self._versions.get(name, 0) + 1
+
+    def version(self, name: str) -> int:
+        """Registration version of ``name`` (bumped on every register)."""
+        self.get(name)  # raise on unknown tables
+        return self._versions[name]
 
     def drop(self, name: str) -> None:
         if name not in self._entries:

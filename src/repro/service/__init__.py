@@ -1,0 +1,50 @@
+"""Concurrent query service: the serving layer over the query engine.
+
+``repro.service`` turns the single-query :class:`repro.query.Engine` into
+a multi-client service:
+
+* :mod:`~repro.service.admission` — bounded in-flight queries with
+  backpressure statistics,
+* :mod:`~repro.service.coalescer` — cross-query shared-scan batching:
+  concurrent E-selections on the same (table, column, model) fuse into
+  one stacked blocked scan, demuxed per query through streaming top-k
+  heaps, bit-identical to serial execution,
+* :mod:`~repro.service.plan_cache` — repeated query shapes skip the
+  optimizer via parameterized plan-fingerprint templates,
+* :mod:`~repro.service.semantic_cache` — exact and (opt-in) cosine
+  near-duplicate result caching with TTL, LRU eviction, and catalog-
+  version invalidation,
+* :mod:`~repro.service.service` — the :class:`QueryService` facade and
+  per-client :class:`SessionHandle`.
+"""
+
+from .admission import AdmissionController, AdmissionStats
+from .coalescer import (
+    CoalescerStats,
+    CoalescingScheduler,
+    SharedScanRequest,
+    unwrap_shared_scan,
+)
+from .plan_cache import PlanCache, PlanCacheStats, fingerprint, parameterize, substitute
+from .semantic_cache import ResultCacheStats, SemanticResultCache, table_versions
+from .service import QueryService, ServiceStats, SessionHandle
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "CoalescerStats",
+    "CoalescingScheduler",
+    "PlanCache",
+    "PlanCacheStats",
+    "QueryService",
+    "ResultCacheStats",
+    "SemanticResultCache",
+    "ServiceStats",
+    "SessionHandle",
+    "SharedScanRequest",
+    "fingerprint",
+    "parameterize",
+    "substitute",
+    "table_versions",
+    "unwrap_shared_scan",
+]

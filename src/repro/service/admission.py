@@ -1,0 +1,100 @@
+"""Admission control: bounded in-flight queries with backpressure stats.
+
+The service's first defence under heavy traffic is refusing to start more
+work than the machine can progress: at most ``max_inflight`` queries
+execute concurrently, and a submission that cannot get a slot within its
+timeout is rejected with :class:`~repro.errors.ServiceOverloadError`
+rather than queued unboundedly — callers see backpressure instead of
+silent latency collapse.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ServiceError, ServiceOverloadError
+
+
+@dataclass
+class AdmissionStats:
+    """Counters describing admission behaviour (read under the lock)."""
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    #: Highest number of concurrently admitted queries observed.
+    peak_inflight: int = 0
+    #: Total seconds submissions spent waiting for a slot (admitted only).
+    queue_wait_seconds: float = 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "peak_inflight": self.peak_inflight,
+            "queue_wait_seconds": self.queue_wait_seconds,
+        }
+
+
+@dataclass
+class AdmissionController:
+    """Bounded-concurrency gate with waiting-time accounting.
+
+    Implemented on a condition variable rather than a bare semaphore so
+    admissions can record queue-wait time and peak concurrency under the
+    same lock that guards the counter.
+    """
+
+    max_inflight: int
+    timeout_s: float = 30.0
+    stats: AdmissionStats = field(default_factory=AdmissionStats)
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ServiceError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        self._inflight = 0
+        self._cond = threading.Condition()
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    def acquire(self, *, timeout_s: float | None = None) -> None:
+        """Wait for an execution slot; raise on backpressure timeout."""
+        timeout = self.timeout_s if timeout_s is None else timeout_s
+        start = time.perf_counter()
+        deadline = start + timeout
+        with self._cond:
+            self.stats.submitted += 1
+            while self._inflight >= self.max_inflight:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    if self._inflight >= self.max_inflight:
+                        self.stats.rejected += 1
+                        raise ServiceOverloadError(
+                            f"no execution slot within {timeout:.3g}s "
+                            f"({self._inflight}/{self.max_inflight} in flight)"
+                        )
+            self._inflight += 1
+            self.stats.admitted += 1
+            self.stats.peak_inflight = max(
+                self.stats.peak_inflight, self._inflight
+            )
+            self.stats.queue_wait_seconds += time.perf_counter() - start
+
+    def release(self) -> None:
+        """Return a slot (called exactly once per successful acquire)."""
+        with self._cond:
+            if self._inflight <= 0:
+                raise ServiceError("release() without a matching acquire()")
+            self._inflight -= 1
+            self.stats.completed += 1
+            self._cond.notify()

@@ -1,0 +1,503 @@
+"""Cross-query shared-scan batching: the service-level tensor formulation.
+
+The paper's economics argument is that embedding operators pay off when
+model invocations and scans are *batched*; within a query the tensor join
+does this with GEMM blocks.  The coalescing scheduler applies the same
+amortization **across queries**: concurrently-submitted E-selections that
+hit the same ``(table, column, model)`` scan source are fused into one
+blocked scan whose right-hand operand stacks every query vector — one
+GEMM streams the relation once for the whole group instead of once per
+query — and per-query results are demuxed from the shared score blocks
+through a :class:`~repro.vector.topk.StreamingTopK` heap (one row per
+session's query).
+
+Exactness: the shared scan is only a *prescreen*.  Each query's emitted
+rows are re-scored with the shape-stable exact kernel and re-selected by
+:func:`~repro.core.eselect.exact_topk_select` /
+:func:`~repro.core.eselect.exact_threshold_select` — the same contract
+the serial scan uses — so coalesced results are bit-identical to serial
+execution.  Threshold demux is provably complete via the prescreen
+margin; top-k demux verifies a completeness guard (heap floor at least a
+margin below the running k-th exact score) and falls back to the serial
+scan for that one query when the guard cannot prove the heap covered it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algebra.logical import (
+    ESelectNode,
+    LimitNode,
+    LogicalNode,
+    ProjectNode,
+    ScanNode,
+)
+from ..core.conditions import ThresholdCondition, TopKCondition
+from ..core.eselect import (
+    PRESCREEN_MARGIN,
+    TOPK_PRESCREEN_PAD,
+    eselect,
+    exact_threshold_select,
+    exact_topk_select,
+)
+from ..errors import ServiceError
+from ..relational.column import Column
+from ..relational.schema import DataType, Field as SchemaField
+from ..relational.table import Table
+from ..vector.topk import StreamingTopK, top_k_per_row
+
+#: Fallback shared-scan block budget when no buffer budget is configured.
+DEFAULT_SCAN_BLOCK_BYTES = 8 << 20
+
+
+def _floor_pruned_candidates(
+    by_query: np.ndarray, floor: np.ndarray, offset: int
+):
+    """Block candidates that can still enter an already-full top-k heap.
+
+    A row prunes out when its approximate score is below its query's
+    current heap floor — the floor only rises, so such a row could never
+    be retained by the streaming merge anyway (the candidate superset is
+    unchanged; only wasted per-block selection work is skipped, one
+    vectorized compare per cell instead of a partition sort).  Returns
+    ``(ids, scores)`` padded to the widest query with ``-inf`` scores —
+    harmless against a heap that already holds ``k`` real candidates —
+    or ``None`` when no row survives.
+    """
+    mask = by_query >= floor[:, None]
+    counts = mask.sum(axis=1)
+    hmax = int(counts.max()) if len(counts) else 0
+    if hmax == 0:
+        return None
+    b = by_query.shape[0]
+    ids = np.full((b, hmax), -1, dtype=np.int64)
+    scores = np.full((b, hmax), -np.inf, dtype=np.float32)
+    for j in np.nonzero(counts)[0]:
+        idx = np.nonzero(mask[j])[0]
+        ids[j, : len(idx)] = idx + offset
+        scores[j, : len(idx)] = by_query[j, idx]
+    return ids, scores
+
+
+def unwrap_shared_scan(
+    plan: LogicalNode,
+) -> tuple[list[LogicalNode], ESelectNode] | None:
+    """Match ``Project*/Limit*( ESelect( Scan(t) ) )`` plan shapes.
+
+    Returns ``(wrappers outermost-first, eselect node)`` when the plan is
+    a coalesceable E-selection over a base table scan, else ``None``.
+    """
+    wrappers: list[LogicalNode] = []
+    node = plan
+    while isinstance(node, (ProjectNode, LimitNode)):
+        wrappers.append(node)
+        node = node.child
+    if not isinstance(node, ESelectNode):
+        return None
+    if not isinstance(node.child, ScanNode):
+        return None
+    if not isinstance(node.condition, (ThresholdCondition, TopKCondition)):
+        return None
+    return wrappers, node
+
+
+@dataclass
+class SharedScanRequest:
+    """One query's slice of a shared scan group."""
+
+    node: ESelectNode
+    wrappers: list[LogicalNode]
+    #: Unit-normalized query vector (the eselect query contract).
+    qvec: np.ndarray
+    #: The resolved query vector *before* normalization — the serial
+    #: fallback hands this to :func:`~repro.core.eselect.eselect` so its
+    #: internal normalization reproduces ``qvec`` bit-for-bit
+    #: (``normalize_vector`` is not idempotent at the last ulp).
+    qraw: np.ndarray
+    tag: str
+    result: Table | None = None
+    error: BaseException | None = None
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        child = self.node.child
+        assert isinstance(child, ScanNode)
+        return (child.table_name, self.node.column, self.node.model_name)
+
+
+class _Group:
+    """Requests gathered within one coalescing window."""
+
+    __slots__ = ("key", "requests", "closed", "done")
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+        self.requests: list[SharedScanRequest] = []
+        self.closed = False
+        self.done = threading.Event()
+
+
+@dataclass
+class CoalescerStats:
+    groups: int = 0
+    coalesced_queries: int = 0
+    #: Requests that shared a scan row with an identical concurrent query
+    #: vector (the service-level embed-once win on hot traffic).
+    deduped_queries: int = 0
+    max_batch: int = 0
+    shared_scan_blocks: int = 0
+    fallbacks: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "groups": self.groups,
+            "coalesced_queries": self.coalesced_queries,
+            "deduped_queries": self.deduped_queries,
+            "max_batch": self.max_batch,
+            "shared_scan_blocks": self.shared_scan_blocks,
+            "fallbacks": self.fallbacks,
+        }
+
+
+class CoalescingScheduler:
+    """Groups concurrent same-source E-selections into shared scans.
+
+    The first submission for a source becomes the group *leader*: it waits
+    up to ``window_s`` for concurrently-arriving queries on the same key
+    (skipping the wait when ``contention()`` says nobody else is in
+    flight), snapshots the group, and executes one shared blocked scan for
+    all of them on the engine's morsel scheduler.  Followers block on the
+    group's event and pick up their demuxed result.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        window_s: float = 0.002,
+        max_batch: int = 64,
+        inflight_probe=None,
+    ) -> None:
+        if max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
+        self.engine = engine  # repro.query.Engine
+        self.window_s = max(0.0, window_s)
+        self.max_batch = max_batch
+        #: Optional callable reporting how many queries are currently in
+        #: flight service-wide; lets the leader stop waiting as soon as
+        #: every in-flight query has had the chance to join the group.
+        self._inflight_probe = inflight_probe
+        self._groups: dict[tuple, _Group] = {}
+        self._lock = threading.Lock()
+        self.stats = CoalescerStats()
+
+    # ------------------------------------------------------------------
+    # Submission path (runs on client threads)
+    # ------------------------------------------------------------------
+    def submit(self, request: SharedScanRequest) -> Table:
+        key = request.key
+        with self._lock:
+            group = self._groups.get(key)
+            if (
+                group is None
+                or group.closed
+                or len(group.requests) >= self.max_batch
+            ):
+                group = _Group(key)
+                self._groups[key] = group
+                is_leader = True
+            else:
+                is_leader = False
+            group.requests.append(request)
+        if is_leader:
+            self._lead(group)
+        else:
+            group.done.wait()
+        if request.error is not None:
+            raise request.error
+        assert request.result is not None
+        return request.result
+
+    def _lead(self, group: _Group) -> None:
+        self._gather(group)
+        with self._lock:
+            group.closed = True
+            if self._groups.get(group.key) is group:
+                del self._groups[group.key]
+            requests = list(group.requests)
+        try:
+            self._execute_group(group.key, requests)
+        except BaseException as exc:
+            for req in requests:
+                if req.error is None and req.result is None:
+                    req.error = exc
+        finally:
+            group.done.set()
+
+    def _gather(self, group: _Group) -> None:
+        """Hold the group open up to the coalescing window.
+
+        The wait ends early once the group has absorbed every query the
+        service currently has in flight (nobody else could join), so an
+        uncontended service pays (almost) no coalescing latency while a
+        loaded one batches aggressively.
+        """
+        if self.window_s <= 0:
+            return
+        deadline = time.perf_counter() + self.window_s
+        poll = min(self.window_s / 8, 0.0002)
+        while True:
+            with self._lock:
+                size = len(group.requests)
+            if size >= self.max_batch:
+                return
+            if self._inflight_probe is not None and size >= min(
+                self._inflight_probe(), self.max_batch
+            ):
+                return
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                return
+            time.sleep(min(remaining, poll))
+
+    # ------------------------------------------------------------------
+    # Shared scan execution (runs on the leader's thread)
+    # ------------------------------------------------------------------
+    def _execute_group(
+        self, key: tuple, requests: list[SharedScanRequest]
+    ) -> None:
+        from ..algebra.physical_planner import _embed_column
+
+        with self._lock:
+            self.stats.groups += 1
+            self.stats.coalesced_queries += len(requests)
+            self.stats.max_batch = max(self.stats.max_batch, len(requests))
+
+        table_name, column, model_name = key
+        ctx = self.engine.context(tag=f"svc/scan/{table_name}.{column}")
+        table = ctx.catalog.get(table_name)
+        vectors = _embed_column(table, column, model_name, ctx)
+        normalized = ctx.normalized_matrix_for(key, vectors)
+        n = len(normalized)
+
+        # Deduplicate query vectors: concurrent clients asking the same
+        # (hot) question share one scan row — the service-level analogue
+        # of the embed-once prefetch.  ``urow_of[i]`` maps request i to
+        # its unique scan row.
+        uniq_index: dict[bytes, int] = {}
+        urow_of: list[int] = []
+        uniq_vecs: list[np.ndarray] = []
+        for req in requests:
+            digest = req.qvec.tobytes()
+            urow = uniq_index.get(digest)
+            if urow is None:
+                urow = len(uniq_vecs)
+                uniq_index[digest] = urow
+                uniq_vecs.append(req.qvec)
+            urow_of.append(urow)
+        queries = np.stack(uniq_vecs).astype(np.float32)
+        with self._lock:
+            self.stats.deduped_queries += len(requests) - len(uniq_vecs)
+
+        # Unique scan rows needing a top-k heap / threshold pool (a row
+        # can need both when duplicate vectors carry mixed conditions).
+        topk_rows = sorted(
+            {
+                urow_of[i]
+                for i, req in enumerate(requests)
+                if isinstance(req.node.condition, TopKCondition)
+            }
+        )
+        heap_pos = {urow: j for j, urow in enumerate(topk_rows)}
+        thr_floor: dict[int, float] = {}
+        for i, req in enumerate(requests):
+            if isinstance(req.node.condition, ThresholdCondition):
+                urow = urow_of[i]
+                bound = req.node.condition.threshold - PRESCREEN_MARGIN
+                thr_floor[urow] = min(thr_floor.get(urow, bound), bound)
+        thr_rows = sorted(thr_floor)
+        pool_pos = {urow: j for j, urow in enumerate(thr_rows)}
+        kpad = 0
+        heap = None
+        if topk_rows:
+            kpad = min(
+                n,
+                max(
+                    req.node.condition.k
+                    for req in requests
+                    if isinstance(req.node.condition, TopKCondition)
+                )
+                + TOPK_PRESCREEN_PAD,
+            )
+            kpad = max(kpad, 1)
+            heap = StreamingTopK(len(topk_rows), kpad)
+        thresholds = np.asarray(
+            [thr_floor[urow] for urow in thr_rows], dtype=np.float32
+        )
+        pools: list[list[np.ndarray]] = [[] for _ in thr_rows]
+
+        # One blocked pass over the relation.  Each block is one stacked
+        # GEMM in (queries, rows) orientation — the relation streams once
+        # for the whole group — reduced to per-query block candidates.
+        # On a multi-threaded engine the blocks are independent scheduler
+        # tasks folded into the heap in input order; on a single-threaded
+        # engine the fold runs inline so later blocks can prune against
+        # the running heap floor with a vectorized compare instead of a
+        # per-query selection (the same superset either way).
+        all_topk = len(topk_rows) == len(queries)
+        block_rows = self._block_rows(ctx, len(queries))
+        starts = list(range(0, n, block_rows))
+        with self._lock:
+            self.stats.shared_scan_blocks += len(starts)
+
+        def scan_block(start: int, floor: np.ndarray | None):
+            stop = min(start + block_rows, n)
+            scores = queries @ normalized[start:stop].T  # (b, rows)
+            by_query = scores if all_topk else scores[topk_rows]
+            top = None
+            if topk_rows:
+                if floor is None:
+                    local = top_k_per_row(by_query, min(kpad, stop - start))
+                    top = (
+                        local.astype(np.int64) + start,
+                        np.take_along_axis(by_query, local, axis=1),
+                    )
+                else:
+                    top = _floor_pruned_candidates(by_query, floor, start)
+            thr_hits = [
+                np.nonzero(scores[row] >= thresholds[j])[0] + start
+                for j, row in enumerate(thr_rows)
+            ]
+            return top, thr_hits
+
+        def fold(top, thr_hits) -> None:
+            if heap is not None and top is not None:
+                heap.update(*top)
+            for j, hits in enumerate(thr_hits):
+                if len(hits):
+                    pools[j].append(hits)
+
+        if ctx.engine.n_threads > 1:
+            partials = ctx.engine.run(
+                [lambda s=s: scan_block(s, None) for s in starts]
+            )
+            for top, thr_hits in partials:
+                fold(top, thr_hits)
+        else:
+            for start in starts:
+                floor = None
+                if heap is not None and heap.width >= kpad:
+                    floor = heap.finalize()[1].min(axis=1)
+                fold(*scan_block(start, floor))
+
+        heap_ids = heap_floor = None
+        if heap is not None:
+            heap_ids, heap_scores = heap.finalize()
+            heap_floor = (
+                heap_scores.min(axis=1)
+                if heap_scores.shape[1]
+                else np.full(len(topk_rows), -np.inf, dtype=np.float32)
+            )
+
+        # Per-request demux: exact selection from the shared candidates.
+        # Duplicate vectors share candidates but each request applies its
+        # own condition, score column, and wrappers — and each fails
+        # alone: a bad wrapper (e.g. projecting a missing column) must
+        # not poison the other queries that happened to share its scan.
+        for i, req in enumerate(requests):
+            urow = urow_of[i]
+            condition = req.node.condition
+            try:
+                if isinstance(condition, ThresholdCondition):
+                    j = pool_pos[urow]
+                    cand = (
+                        np.concatenate(pools[j])
+                        if pools[j]
+                        else np.empty(0, dtype=np.int64)
+                    )
+                    ids, scores = exact_threshold_select(
+                        normalized, cand, req.qvec, condition.threshold
+                    )
+                    req.result = self._materialize(table, ids, scores, req)
+                else:
+                    j = heap_pos[urow]
+                    ids_scores = self._demux_topk(
+                        normalized, heap_ids[j], float(heap_floor[j]), req,
+                        condition, n,
+                    )
+                    req.result = self._materialize(table, *ids_scores, req)
+            except BaseException as exc:
+                req.error = exc
+
+    def _demux_topk(
+        self,
+        normalized: np.ndarray,
+        candidates: np.ndarray,
+        heap_floor: float,
+        req: SharedScanRequest,
+        condition: TopKCondition,
+        n: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact top-k from shared-scan candidates, or serial fallback.
+
+        Completeness guard: every row the heap dropped has approximate
+        score <= the heap floor; if the floor sits at least the prescreen
+        margin below this query's k-th exact candidate score, no dropped
+        row can reach the top-k, so the candidate set is provably
+        complete.  Otherwise re-run this one query through the serial
+        scan — which is bit-identical by the shared exact contract.
+        """
+        if len(candidates) < n and len(candidates):
+            from ..vector.kernels import stable_dot_scores
+
+            exact = stable_dot_scores(normalized[candidates], req.qvec)
+            kth = np.sort(exact)[::-1][min(condition.k, len(exact)) - 1]
+            if heap_floor > kth - PRESCREEN_MARGIN:
+                with self._lock:
+                    self.stats.fallbacks += 1
+                result = eselect(
+                    normalized, req.qraw, condition, assume_normalized=True
+                )
+                return result.ids, result.scores
+        return exact_topk_select(
+            normalized,
+            candidates,
+            req.qvec,
+            condition.k,
+            min_similarity=condition.min_similarity,
+        )
+
+    def _block_rows(self, ctx, batch: int) -> int:
+        """Rows per shared-scan block under the configured buffer budget."""
+        from ..config import get_config
+
+        budget = ctx.engine.policy.buffer_budget_bytes
+        if budget is None:
+            budget = get_config().default_buffer_budget_bytes
+        if budget is None:
+            budget = DEFAULT_SCAN_BLOCK_BYTES
+        return max(1024, budget // max(1, 4 * batch))
+
+    @staticmethod
+    def _materialize(
+        table: Table,
+        ids: np.ndarray,
+        scores: np.ndarray,
+        req: SharedScanRequest,
+    ) -> Table:
+        """Mirror the planner's E-selection materialization + wrappers."""
+        out = table.take(ids).with_column(
+            Column(SchemaField(req.node.score_column, DataType.FLOAT32), scores)
+        )
+        for wrapper in reversed(req.wrappers):
+            if isinstance(wrapper, ProjectNode):
+                out = out.select(list(wrapper.names))
+            else:
+                assert isinstance(wrapper, LimitNode)
+                out = out.slice(0, wrapper.n)
+        return out

@@ -1,0 +1,134 @@
+"""Plan cache: repeated query *shapes* skip the optimizer.
+
+Service traffic is shape-repetitive — millions of users issue the same
+template ("top-k over corpus.embedding under model m") with different
+query payloads.  The cache therefore keys on a **parameterized
+fingerprint**: the logical plan with every E-selection query payload
+replaced by a positional placeholder.  On a miss the optimizer runs once
+on the placeholder plan (rewrite rules are structural and never inspect
+query payloads); on a hit the cached optimized template is re-instantiated
+by substituting the new payloads — identical to optimizing the concrete
+plan directly, without paying the fixpoint rewrite walk.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+
+from ..algebra.logical import ESelectNode, LogicalNode
+from ..algebra.optimizer import Optimizer
+from ..relational.catalog import Catalog
+
+
+class PlanParam:
+    """Placeholder for a volatile query payload inside a plan template."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __repr__(self) -> str:  # renders into the fingerprint string
+        return f"?{self.index}"
+
+
+def parameterize(plan: LogicalNode) -> tuple[LogicalNode, list]:
+    """Split a plan into (template with placeholders, payload list).
+
+    Placeholders are numbered in pre-order traversal, so structurally
+    identical plans always produce the same template and an aligned
+    payload order.
+    """
+    params: list = []
+
+    def rebuild(node: LogicalNode) -> LogicalNode:
+        if isinstance(node, ESelectNode) and not isinstance(
+            node.query, PlanParam
+        ):
+            params.append(node.query)
+            node = replace(node, query=PlanParam(len(params) - 1))
+        children = node.children()
+        if children:
+            node = node.with_children([rebuild(c) for c in children])
+        return node
+
+    return rebuild(plan), params
+
+
+def substitute(template: LogicalNode, params: list) -> LogicalNode:
+    """Re-instantiate a template by filling placeholders from ``params``."""
+
+    def rebuild(node: LogicalNode) -> LogicalNode:
+        if isinstance(node, ESelectNode) and isinstance(node.query, PlanParam):
+            node = replace(node, query=params[node.query.index])
+        children = node.children()
+        if children:
+            node = node.with_children([rebuild(c) for c in children])
+        return node
+
+    return rebuild(template)
+
+
+def fingerprint(plan: LogicalNode) -> tuple[str, list]:
+    """Structural fingerprint string plus the extracted volatile payloads."""
+    template, params = parameterize(plan)
+    return template.explain(), params
+
+
+@dataclass
+class PlanCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class PlanCache:
+    """LRU fingerprint -> optimized plan-template cache (thread-safe)."""
+
+    capacity: int = 256
+    stats: PlanCacheStats = field(default_factory=PlanCacheStats)
+
+    def __post_init__(self) -> None:
+        self._entries: OrderedDict[str, LogicalNode] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def optimize(
+        self, plan: LogicalNode, *, catalog: Catalog | None = None
+    ) -> tuple[LogicalNode, str, list]:
+        """Optimized plan for ``plan``, via the template cache.
+
+        Returns ``(optimized, fingerprint_key, payloads)`` — the key and
+        payloads double as the semantic result cache's lookup key parts.
+        """
+        template, params = parameterize(plan)
+        key = template.explain()
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+        if cached is None:
+            cached = Optimizer(catalog=catalog).optimize(template)
+            with self._lock:
+                self.stats.misses += 1
+                if self.capacity > 0:
+                    self._entries[key] = cached
+                    self._entries.move_to_end(key)
+                    while len(self._entries) > self.capacity:
+                        self._entries.popitem(last=False)
+                        self.stats.evictions += 1
+        return substitute(cached, params), key, params

@@ -1,0 +1,394 @@
+"""The concurrent query service fronting :class:`repro.query.Engine`.
+
+``QueryService`` is the serving layer the ROADMAP's "heavy traffic"
+north-star lands on: clients open lightweight sessions and submit
+declarative queries from their own threads; the service applies admission
+control (bounded in-flight work, backpressure rejections), skips repeated
+work through the plan cache and the semantic result cache, fuses
+concurrent same-source E-selections into shared scans via the coalescing
+scheduler, and drives the engine's morsel scheduler with per-query tags
+so scheduled work is attributable per query.
+
+Throughput — not single-query latency — is the service's contract, but
+correctness is non-negotiable: every result returned is bit-identical to
+executing the same query serially on the underlying engine.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algebra.physical_planner import ExecutionReport, execute
+from ..config import get_config
+from ..errors import ServiceError, SessionClosedError
+from ..query.builder import Engine, QueryBuilder
+from ..relational.table import Table
+from ..vector.norms import normalize_vector
+from .admission import AdmissionController
+from .coalescer import CoalescingScheduler, SharedScanRequest, unwrap_shared_scan
+from .plan_cache import PlanCache
+from .semantic_cache import SemanticResultCache, params_signature, table_versions
+
+
+class _InflightResult:
+    """Singleflight slot: one execution that duplicates wait on."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Table | None = None
+        self.error: BaseException | None = None
+
+
+class SessionHandle:
+    """A client's handle onto the service (context-manager friendly).
+
+    Sessions are cheap — one per connected client — and carry per-session
+    counters plus the tag prefix that attributes engine morsels to the
+    session's queries.
+    """
+
+    def __init__(self, service: "QueryService", name: str) -> None:
+        self.service = service
+        self.name = name
+        self.queries = 0
+        self.errors = 0
+        self._closed = False
+        self._lock = threading.Lock()
+
+    def query(self, table_name: str) -> QueryBuilder:
+        """Start building a declarative query against the shared catalog."""
+        return self.service.engine.query(table_name)
+
+    def execute(
+        self, query: "QueryBuilder | object", *, timeout_s: float | None = None
+    ) -> Table:
+        """Submit a query (builder or logical plan) and block for its result."""
+        with self._lock:
+            if self._closed:
+                raise SessionClosedError(f"session {self.name!r} is closed")
+            self.queries += 1
+            seq = self.queries
+        try:
+            return self.service.submit(
+                query, tag=f"{self.name}/q{seq}", timeout_s=timeout_s
+            )
+        except BaseException:
+            with self._lock:
+                self.errors += 1
+            raise
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "SessionHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class ServiceStats:
+    """Service-level counters (cache/admission details live in their
+    components; :meth:`QueryService.stats_snapshot` merges everything)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    coalesced: int = 0
+    direct: int = 0
+    result_cache_hits: int = 0
+    #: Queries that piggybacked on an identical in-flight execution
+    #: (singleflight): the result cache cannot catch duplicates that
+    #: arrive while the first copy is still running, this does.
+    singleflight_hits: int = 0
+
+
+class QueryService:
+    """Concurrent query service: admission + coalescing + caching.
+
+    Args:
+        engine: the query engine to front (catalog, models, indexes and
+            shared stores all come from it).
+        max_inflight: admission bound on concurrently executing queries.
+        admission_timeout_s: backpressure wait before rejecting.
+        coalesce: enable cross-query shared-scan batching.
+        coalesce_window_s: how long a scan-group leader waits for
+            concurrently-submitted queries before executing.
+        coalesce_max_batch: max queries fused into one shared scan.
+        plan_cache_size: optimized-plan template cache capacity.
+        result_cache_size: semantic result cache capacity (0 disables).
+        result_cache_ttl_s: result cache entry time-to-live.
+        near_dup_threshold: opt-in cosine threshold for approximate
+            result-cache hits (``None`` keeps results exact).
+
+    Every knob defaults to the ``REPRO_SERVICE_*`` configuration.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        max_inflight: int | None = None,
+        admission_timeout_s: float | None = None,
+        coalesce: bool = True,
+        coalesce_window_s: float | None = None,
+        coalesce_max_batch: int | None = None,
+        plan_cache_size: int | None = None,
+        result_cache_size: int | None = None,
+        result_cache_ttl_s: float | None = None,
+        near_dup_threshold: float | None = None,
+    ) -> None:
+        config = get_config()
+        self.engine = engine
+        self.admission = AdmissionController(
+            config.service_max_inflight if max_inflight is None else max_inflight,
+            timeout_s=(
+                config.service_admission_timeout_s
+                if admission_timeout_s is None
+                else admission_timeout_s
+            ),
+        )
+        self.plans = PlanCache(
+            config.service_plan_cache_size
+            if plan_cache_size is None
+            else plan_cache_size
+        )
+        self.results = SemanticResultCache(
+            capacity=(
+                config.service_result_cache_size
+                if result_cache_size is None
+                else result_cache_size
+            ),
+            ttl_s=(
+                config.service_result_cache_ttl_s
+                if result_cache_ttl_s is None
+                else result_cache_ttl_s
+            ),
+            near_dup_threshold=(
+                config.service_near_dup_threshold
+                if near_dup_threshold is None
+                else near_dup_threshold
+            ),
+        )
+        self.coalescer = (
+            CoalescingScheduler(
+                engine,
+                window_s=(
+                    config.service_coalesce_window_s
+                    if coalesce_window_s is None
+                    else coalesce_window_s
+                ),
+                max_batch=(
+                    config.service_coalesce_max_batch
+                    if coalesce_max_batch is None
+                    else coalesce_max_batch
+                ),
+                inflight_probe=lambda: self.admission.inflight,
+            )
+            if coalesce
+            else None
+        )
+        self.stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+        self._inflight_results: dict[tuple, _InflightResult] = {}
+        self._singleflight_lock = threading.Lock()
+        self._sessions = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def session(self, name: str | None = None) -> SessionHandle:
+        with self._stats_lock:
+            self._sessions += 1
+            seq = self._sessions
+        return SessionHandle(self, name or f"session-{seq}")
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: "QueryBuilder | object",
+        *,
+        tag: str = "svc/anon",
+        timeout_s: float | None = None,
+    ) -> Table:
+        """Admit, plan, and execute one query; blocks until the result.
+
+        Called from client threads — the service has no worker pool of its
+        own; concurrency is whatever the callers bring, bounded by
+        admission control.
+        """
+        if self._closed:
+            raise ServiceError("service is shut down")
+        plan = query.plan if isinstance(query, QueryBuilder) else query
+        self.admission.acquire(timeout_s=timeout_s)
+        with self._stats_lock:
+            self.stats.submitted += 1
+        try:
+            optimized, fkey, params = self.plans.optimize(
+                plan, catalog=self.engine.catalog
+            )
+            # The cache key covers everything that can change a result:
+            # table data versions, the index epoch (registering an index
+            # can flip the physical access path — approximate for
+            # HNSW/IVF), and the precision config (quantized scans are
+            # approximate for top-k, so results cached under one
+            # REPRO_PRECISION mode must not survive a config change).
+            config = get_config()
+            versions = (
+                *table_versions(optimized, self.engine.catalog),
+                ("__indexes__", self.engine.index_epoch),
+                (
+                    "__precision__",
+                    config.default_precision,
+                    config.default_min_recall,
+                    config.default_rerank_multiple,
+                ),
+            )
+            cached = self.results.lookup(fkey, versions, params)
+            if cached is not None:
+                with self._stats_lock:
+                    self.stats.result_cache_hits += 1
+                    self.stats.completed += 1
+                return cached
+            # Singleflight: an identical query already executing means
+            # this one just waits for that result — the result cache
+            # cannot catch duplicates that arrive mid-execution.
+            sf_key = (fkey, versions, params_signature(params))
+            with self._singleflight_lock:
+                slot = self._inflight_results.get(sf_key)
+                owner = slot is None
+                if owner:
+                    slot = _InflightResult()
+                    self._inflight_results[sf_key] = slot
+            if not owner:
+                slot.done.wait()
+                if slot.error is not None:
+                    raise slot.error
+                with self._stats_lock:
+                    self.stats.singleflight_hits += 1
+                    self.stats.completed += 1
+                assert slot.result is not None
+                return slot.result
+            try:
+                result = self._execute(optimized, tag)
+                self.results.store(fkey, versions, params, result)
+                slot.result = result
+            except BaseException as exc:
+                slot.error = exc
+                raise
+            finally:
+                with self._singleflight_lock:
+                    del self._inflight_results[sf_key]
+                slot.done.set()
+            with self._stats_lock:
+                self.stats.completed += 1
+            return result
+        except BaseException:
+            with self._stats_lock:
+                self.stats.failed += 1
+            raise
+        finally:
+            self.admission.release()
+
+    def _execute(self, optimized, tag: str) -> Table:
+        request = self._shared_scan_request(optimized, tag)
+        if request is not None:
+            with self._stats_lock:
+                self.stats.coalesced += 1
+            return self.coalescer.submit(request)
+        with self._stats_lock:
+            self.stats.direct += 1
+        ctx = self.engine.context(tag=tag)
+        report = ExecutionReport()
+        return execute(optimized, ctx, report=report)
+
+    def _shared_scan_request(
+        self, optimized, tag: str
+    ) -> SharedScanRequest | None:
+        """Build a coalescer request when the plan and config allow it."""
+        if self.coalescer is None:
+            return None
+        if get_config().default_precision in ("int8", "pq"):
+            # Quantized scan substitution is a per-query planner decision;
+            # those queries take the normal path (still sharing the
+            # context-cached quantized stores).
+            return None
+        match = unwrap_shared_scan(optimized)
+        if match is None:
+            return None
+        wrappers, node = match
+        query = node.query
+        if not isinstance(query, np.ndarray):
+            store = self.engine.embed_store_for(node.model_name)
+            query = store.embed_items([query])[0]
+        if query.ndim != 1:
+            return None  # let the serial path raise its usual error
+        qraw = np.asarray(query, dtype=np.float32)
+        return SharedScanRequest(
+            node=node,
+            wrappers=wrappers,
+            qvec=normalize_vector(qraw),
+            qraw=qraw,
+            tag=tag,
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def invalidate_table(self, name: str) -> int:
+        """Eagerly drop cached results referencing ``name``."""
+        return self.results.invalidate_table(name)
+
+    def stats_snapshot(self) -> dict:
+        """One merged dict of every layer's counters."""
+        with self._stats_lock:
+            service = {
+                "submitted": self.stats.submitted,
+                "completed": self.stats.completed,
+                "failed": self.stats.failed,
+                "coalesced": self.stats.coalesced,
+                "direct": self.stats.direct,
+                "result_cache_hits": self.stats.result_cache_hits,
+                "singleflight_hits": self.stats.singleflight_hits,
+                "sessions": self._sessions,
+            }
+        snapshot = {
+            "service": service,
+            "admission": self.admission.stats.snapshot(),
+            "plan_cache": self.plans.stats.snapshot(),
+            "result_cache": self.results.stats.snapshot(),
+        }
+        if self.coalescer is not None:
+            snapshot["coalescer"] = self.coalescer.stats.snapshot()
+        engine_stats = self.engine.executor.stats
+        snapshot["engine"] = {
+            "runs": engine_stats.runs,
+            "morsels_dispatched": engine_stats.morsels_dispatched,
+            "steals": engine_stats.steals,
+            "tagged_queries": len(engine_stats.by_tag),
+        }
+        return snapshot
+
+    def shutdown(self) -> None:
+        """Refuse new submissions (in-flight queries drain normally)."""
+        self._closed = True
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

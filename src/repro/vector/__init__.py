@@ -9,6 +9,7 @@ from .kernels import (
     cosine_scalar,
     cosine_vectorized,
     dot_scalar,
+    stable_dot_scores,
 )
 from .norms import is_normalized, l2_norms, normalize_rows, normalize_vector
 from .quant import Int8Quantizer, ProductQuantizer, VectorQuantizer, int8_dot
@@ -32,6 +33,7 @@ __all__ = [
     "l2_norms",
     "normalize_rows",
     "normalize_vector",
+    "stable_dot_scores",
     "top_k_indices",
     "top_k_per_row",
 ]

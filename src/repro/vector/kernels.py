@@ -145,6 +145,33 @@ def cosine_matrix_gemm(left: np.ndarray, right: np.ndarray) -> np.ndarray:
     return left_n @ right_n.T
 
 
+def stable_dot_scores(rows: np.ndarray, vec: np.ndarray) -> np.ndarray:
+    """Shape-stable exact dot products of ``rows`` against ``vec``.
+
+    BLAS kernels pick shape-dependent micro-kernels, so the same logical
+    dot product comes out with different last-ulp roundings depending on
+    how many rows/columns share the call — which breaks any contract that
+    demands identical scores from different access paths (e.g. a serial
+    scan vs a cross-query shared scan).  This kernel defines the scoring
+    contract instead: each row's score is the float64 elementwise product
+    pairwise-summed along the row, cast back to fp32.  The reduction is
+    per-row independent and depends only on the dimensionality, so the
+    result is bit-identical no matter how the rows were batched, gathered,
+    or blocked.  O(len(rows) * d) — intended for the sparse set of rows an
+    approximate prescreen already selected, not for full scans.
+    """
+    rows = np.asarray(rows)
+    vec = np.asarray(vec)
+    if rows.ndim != 2 or vec.ndim != 1 or rows.shape[1] != vec.shape[0]:
+        raise DimensionalityError(
+            f"incompatible shapes {rows.shape} x {vec.shape}"
+        )
+    products = np.ascontiguousarray(rows, dtype=np.float64) * vec.astype(
+        np.float64
+    )
+    return products.sum(axis=1).astype(np.float32)
+
+
 _MATRIX_KERNELS = {
     Kernel.SCALAR: cosine_matrix_scalar,
     Kernel.VECTORIZED: cosine_matrix_vectorized,

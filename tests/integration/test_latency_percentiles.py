@@ -1,0 +1,87 @@
+"""Latency percentile plumbing in the bench harness (service satellite)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import (
+    FigureReport,
+    Seconds,
+    latency_percentiles,
+    median_time,
+    time_call,
+)
+
+
+class TestLatencyPercentiles:
+    def test_empty(self):
+        assert latency_percentiles([]) == {}
+
+    def test_single_sample(self):
+        p = latency_percentiles([0.5])
+        assert p["p50"] == p["p95"] == p["p99"] == 0.5
+        assert p["n"] == 1
+
+    def test_interpolation_and_order(self):
+        samples = [i / 100 for i in range(1, 101)]  # 0.01 .. 1.00
+        p = latency_percentiles(samples)
+        assert abs(p["p50"] - 0.505) < 1e-9
+        assert p["p50"] < p["p95"] < p["p99"] <= 1.0
+        assert p["n"] == 100
+
+    def test_order_independent(self):
+        a = latency_percentiles([3.0, 1.0, 2.0])
+        b = latency_percentiles([1.0, 2.0, 3.0])
+        assert a == b
+
+
+class TestSecondsType:
+    def test_behaves_like_float(self):
+        s = Seconds(1.5, [1.5, 2.0])
+        assert s == 1.5
+        assert s + 0.5 == 2.0
+        assert f"{s:.2f}" == "1.50"
+        assert s.samples == (1.5, 2.0)
+        assert s.percentiles["n"] == 2
+
+    def test_time_call_carries_samples(self):
+        _, seconds = time_call(lambda: None, repeat=4)
+        assert isinstance(seconds, Seconds)
+        assert len(seconds.samples) == 4
+        assert seconds == min(seconds.samples)
+
+    def test_median_time_carries_samples(self):
+        _, seconds = median_time(lambda: None, repeat=5)
+        assert isinstance(seconds, Seconds)
+        assert len(seconds.samples) == 5
+
+
+class TestReportIntegration:
+    def make_report(self) -> FigureReport:
+        report = FigureReport("figL", "latency demo", ("series", "seconds"))
+        report.add("fast", Seconds(0.01, [0.01, 0.012, 0.02]))
+        report.add("slow", Seconds(0.1, [0.1]))  # single sample: no entry
+        report.add("plain", 0.5)  # bare float: no entry
+        return report
+
+    def test_render_includes_percentile_lines(self):
+        text = self.make_report().render()
+        assert "latency [fast] seconds:" in text
+        assert "p95=" in text
+        # single-sample and bare-float cells do not produce noise lines
+        assert "latency [slow]" not in text
+        assert "latency [plain]" not in text
+
+    def test_json_includes_latency_records(self):
+        payload = self.make_report().to_json()
+        assert len(payload["latency"]) == 1
+        entry = payload["latency"][0]
+        assert entry["row_label"] == "fast"
+        assert entry["column"] == "seconds"
+        assert entry["percentiles"]["n"] == 3
+        # the whole payload must stay JSON-serializable
+        json.dumps(payload)
+
+    def test_rows_serialize_as_plain_floats(self):
+        payload = self.make_report().to_json()
+        assert payload["rows"][0][1] == 0.01

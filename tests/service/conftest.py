@@ -1,0 +1,20 @@
+"""Shared fixtures for the concurrent query service tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _service_utils import DIM, make_engine
+from repro.query import Engine
+from repro.workloads import unit_vectors
+
+
+@pytest.fixture()
+def service_engine() -> Engine:
+    return make_engine()
+
+
+@pytest.fixture()
+def query_vectors() -> np.ndarray:
+    return unit_vectors(32, DIM, stream="svc-tests/queries")

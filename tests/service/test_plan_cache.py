@@ -1,0 +1,87 @@
+"""Plan cache: parameterized fingerprints and template substitution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algebra.logical import plan_equal
+from repro.algebra.optimizer import Optimizer
+from repro.service import PlanCache, fingerprint, parameterize, substitute
+
+from _service_utils import MODEL
+
+pytestmark = pytest.mark.service
+
+
+def _topk_plan(engine, qvec, k=5):
+    return engine.query("corpus").esimilar("emb", qvec, model=MODEL, top_k=k).plan
+
+
+def test_same_shape_same_fingerprint(service_engine, query_vectors):
+    key_a, params_a = fingerprint(_topk_plan(service_engine, query_vectors[0]))
+    key_b, params_b = fingerprint(_topk_plan(service_engine, query_vectors[1]))
+    assert key_a == key_b
+    assert not np.array_equal(params_a[0], params_b[0])
+
+
+def test_different_shapes_different_fingerprints(service_engine, query_vectors):
+    q = query_vectors[0]
+    top5 = _topk_plan(service_engine, q, k=5)
+    top9 = _topk_plan(service_engine, q, k=9)
+    threshold = (
+        service_engine.query("corpus")
+        .esimilar("emb", q, model=MODEL, threshold=0.3)
+        .plan
+    )
+    keys = {fingerprint(p)[0] for p in (top5, top9, threshold)}
+    assert len(keys) == 3
+
+
+def test_parameterize_substitute_roundtrip(service_engine, query_vectors):
+    plan = _topk_plan(service_engine, query_vectors[0])
+    template, params = parameterize(plan)
+    assert len(params) == 1
+    rebuilt = substitute(template, params)
+    assert plan_equal(rebuilt, plan) or rebuilt.explain() == plan.explain()
+
+
+def test_cached_optimization_matches_direct(service_engine, query_vectors):
+    cache = PlanCache(capacity=8)
+    catalog = service_engine.catalog
+    for qvec in query_vectors[:4]:
+        plan = _topk_plan(service_engine, qvec)
+        via_cache, _, _ = cache.optimize(plan, catalog=catalog)
+        direct = Optimizer(catalog=catalog).optimize(plan)
+        assert via_cache.explain() == direct.explain()
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 3
+
+
+def test_capacity_eviction(service_engine, query_vectors):
+    cache = PlanCache(capacity=2)
+    catalog = service_engine.catalog
+    q = query_vectors[0]
+    for k in (1, 2, 3, 4):
+        cache.optimize(_topk_plan(service_engine, q, k=k), catalog=catalog)
+    assert len(cache) == 2
+    assert cache.stats.evictions == 2
+
+
+def test_filter_constants_are_part_of_the_shape(service_engine, query_vectors):
+    from repro.relational import Col
+
+    q = query_vectors[0]
+    plan_a = (
+        service_engine.query("corpus")
+        .where(Col("id") > 10)
+        .esimilar("emb", q, model=MODEL, top_k=3)
+        .plan
+    )
+    plan_b = (
+        service_engine.query("corpus")
+        .where(Col("id") > 99)
+        .esimilar("emb", q, model=MODEL, top_k=3)
+        .plan
+    )
+    assert fingerprint(plan_a)[0] != fingerprint(plan_b)[0]
