@@ -4,7 +4,9 @@ Demonstrates the serving layer added on top of the declarative engine:
 admission control bounds in-flight work, concurrently-submitted top-k
 selections against the same column coalesce into one shared batched scan,
 and repeated queries are answered from the semantic result cache — all
-while every result stays bit-identical to serial execution.
+while every result stays bit-identical to serial execution.  At the end
+the service is shut down gracefully: in-flight queries drain before the
+service stops accepting work for good.
 """
 
 from __future__ import annotations
@@ -63,31 +65,37 @@ def main() -> None:
     threads = [
         threading.Thread(target=client, args=(w, results)) for w in range(N_CLIENTS)
     ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
 
-    print(f"served {len(results)} queries from {N_CLIENTS} concurrent clients")
-    print("first result:")
-    print(results[0])
-    print("\nservice counters:")
-    print(json.dumps(service.stats_snapshot(), indent=2))
+        print(f"served {len(results)} queries from {N_CLIENTS} concurrent clients")
+        print("first result:")
+        print(results[0])
+        print("\nservice counters:")
+        print(json.dumps(service.stats_snapshot(), indent=2))
 
-    # The service contract: identical to one-at-a-time serial execution.
-    serial = (
-        engine.query("docs")
-        .esimilar("emb", hot[0], model="encoder", top_k=5)
-        .select(["doc_id", "similarity"])
-        .execute()
-    )
-    via_service = service.submit(
-        engine.query("docs")
-        .esimilar("emb", hot[0], model="encoder", top_k=5)
-        .select(["doc_id", "similarity"])
-    )
-    assert np.array_equal(serial.array("doc_id"), via_service.array("doc_id"))
-    print("\nservice results are bit-identical to serial execution ✓")
+        # The service contract: identical to one-at-a-time serial execution.
+        serial = (
+            engine.query("docs")
+            .esimilar("emb", hot[0], model="encoder", top_k=5)
+            .select(["doc_id", "similarity"])
+            .execute()
+        )
+        via_service = service.submit(
+            engine.query("docs")
+            .esimilar("emb", hot[0], model="encoder", top_k=5)
+            .select(["doc_id", "similarity"])
+        )
+        assert np.array_equal(serial.array("doc_id"), via_service.array("doc_id"))
+        print("\nservice results are bit-identical to serial execution ✓")
+    finally:
+        # Graceful shutdown: stop accepting new work, then wait for every
+        # in-flight query to release its execution slot before exiting.
+        drained = service.shutdown(drain=True, timeout_s=30.0)
+        print(f"service shut down (drained={drained})")
 
 
 if __name__ == "__main__":

@@ -15,7 +15,9 @@ A hybrid vector-relational engine in pure Python/NumPy:
 * :mod:`repro.algebra` — extended relational algebra and optimizer,
 * :mod:`repro.query` — declarative query builder,
 * :mod:`repro.service` — concurrent query service: admission control,
-  cross-query shared-scan batching, plan + semantic result caches,
+  cross-query shared-scan batching, plan + semantic result caches, and
+  a QoS layer (deadlines, priorities, degraded-precision serving, an
+  asyncio submission front),
 * :mod:`repro.workloads` — seeded synthetic workload generators,
 * :mod:`repro.bench` — figure/table reproduction harness.
 
@@ -42,11 +44,18 @@ from .engine import BatchPolicy, ExecutionEngine
 from .index import FlatIndex, HNSWIndex, IVFPQIndex
 from .query import Engine
 from .relational import Catalog, Col, DataType, Field, Schema, Table
-from .service import QueryService, SessionHandle
+from .service import (
+    AsyncQueryService,
+    QoSParams,
+    QueryResponse,
+    QueryService,
+    SessionHandle,
+)
 
 __version__ = "1.1.0"
 
 __all__ = [
+    "AsyncQueryService",
     "BatchPolicy",
     "Catalog",
     "Col",
@@ -61,7 +70,9 @@ __all__ = [
     "HashingEmbedder",
     "IVFPQIndex",
     "JoinResult",
+    "QoSParams",
     "QuantizedRelation",
+    "QueryResponse",
     "QueryService",
     "ReproConfig",
     "Schema",

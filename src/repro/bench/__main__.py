@@ -38,6 +38,7 @@ EXPERIMENTS = {
     "fig17": "test_fig17_range_selectivity.py",
     "fig_quant": "test_fig_quant.py",
     "fig_service": "test_fig_service.py",
+    "fig_qos": "test_fig_qos.py",
     "ablation-normalization": "test_ablation_normalization.py",
     "ablation-eselection": "test_ablation_eselection_cost.py",
     "ablation-fp16": "test_ablation_fp16.py",

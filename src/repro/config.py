@@ -67,6 +67,30 @@ class ReproConfig:
             result is served for a *different* query vector (approximate
             semantic hit).  ``None`` (default) serves exact-key hits only,
             keeping service results bit-identical to serial execution.
+        qos_workers: Dispatcher threads in an
+            :class:`~repro.service.AsyncQueryService` (how many queries
+            it executes concurrently; admission still bounds the total).
+            ``None`` means "same as ``service_max_inflight``".
+        qos_ewma_alpha: Weight of each new sample in the QoS layer's
+            execution-time and arrival-rate EWMAs.
+        qos_deadline_safety: Multiplier padded onto the execution-time
+            estimate before the shed/degrade decision — raise it to shed
+            earlier (more conservative deadlines), lower it toward 1.0
+            to gamble on meeting tight ones.
+        qos_min_estimate_samples: Executions observed per mode before
+            the tracker's estimate is trusted for shedding; a cold
+            service never sheds on estimates.
+        qos_adaptive_window: Size coalescing gather windows from the
+            observed arrival rate (bounded above by
+            ``service_coalesce_window_s``) instead of using the fixed
+            window.
+        qos_window_target_batch: Arrivals the adaptive window aims to
+            gather per shared-scan group.
+        qos_cache_tinylfu: Enable TinyLFU cost-aware admission on the
+            service's semantic result cache.
+        qos_default_min_recall: Recall floor applied to QoS submissions
+            that do not state one.  ``None`` (default) means queries
+            without an explicit floor are never degraded.
     """
 
     seed: int = DEFAULT_SEED
@@ -87,6 +111,14 @@ class ReproConfig:
     service_result_cache_size: int = 512
     service_result_cache_ttl_s: float = 300.0
     service_near_dup_threshold: float | None = None
+    qos_workers: int | None = None
+    qos_ewma_alpha: float = 0.2
+    qos_deadline_safety: float = 1.5
+    qos_min_estimate_samples: int = 5
+    qos_adaptive_window: bool = True
+    qos_window_target_batch: int = 8
+    qos_cache_tinylfu: bool = False
+    qos_default_min_recall: float | None = None
     extra: dict = field(default_factory=dict)
 
     def stream_seed(self, name: str) -> int:
@@ -185,6 +217,32 @@ def _config_from_env() -> ReproConfig:
     # Same convention as REPRO_BENCH_SMOKE: unset, empty, or "0" mean off.
     if os.environ.get("REPRO_NO_WORK_STEALING", "") not in ("", "0"):
         config.work_stealing = False
+    # QoS knobs: deadline/priority-aware serving (repro.service QoS layer).
+    qos_workers = _env_number("REPRO_QOS_WORKERS", int)
+    if qos_workers is not None:
+        config.qos_workers = max(1, qos_workers)
+    alpha = _env_number("REPRO_QOS_EWMA_ALPHA", float)
+    if alpha is not None and 0.0 < alpha <= 1.0:
+        config.qos_ewma_alpha = alpha
+    safety = _env_number("REPRO_QOS_DEADLINE_SAFETY", float)
+    if safety is not None:
+        config.qos_deadline_safety = max(1.0, safety)
+    min_samples = _env_number("REPRO_QOS_MIN_SAMPLES", int)
+    if min_samples is not None:
+        config.qos_min_estimate_samples = max(1, min_samples)
+    target = _env_number("REPRO_QOS_WINDOW_TARGET", int)
+    if target is not None:
+        config.qos_window_target_batch = max(1, target)
+    min_recall = _env_number("REPRO_QOS_MIN_RECALL", float)
+    if min_recall is not None:
+        config.qos_default_min_recall = min(1.0, max(0.0, min_recall))
+    # Boolean knobs: an explicit value set; "0" means off, anything else on.
+    adaptive = os.environ.get("REPRO_QOS_ADAPTIVE_WINDOW", "")
+    if adaptive:
+        config.qos_adaptive_window = adaptive != "0"
+    tinylfu = os.environ.get("REPRO_QOS_CACHE_TINYLFU", "")
+    if tinylfu:
+        config.qos_cache_tinylfu = tinylfu != "0"
     return config
 
 

@@ -82,3 +82,15 @@ class ServiceOverloadError(ServiceError):
 
 class SessionClosedError(ServiceError):
     """A query was submitted through a closed session handle."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A query's deadline expired, or was provably unmeetable, before a
+    result could be produced.
+
+    Raised by the QoS layer in three places: at submission when the
+    deadline has already passed, while queued (for admission or in the
+    async front's priority queue) when the deadline passes before an
+    execution slot frees up, and at dispatch when the execution-time
+    estimate proves the deadline cannot be met even by the degraded
+    (quantized prescreen-only) path."""

@@ -144,7 +144,16 @@ class Engine:
         return QueryBuilder(self, ScanNode(table_name))
 
     def serve(self, **kwargs):
-        """A :class:`~repro.service.QueryService` fronting this engine."""
+        """A :class:`~repro.service.QueryService` fronting this engine.
+
+        Keyword arguments are forwarded to the service constructor
+        (``max_inflight``, ``coalesce``, cache sizes, QoS knobs, ...);
+        anything unspecified falls back to the global config.  Use
+        :meth:`QueryService.submit` for plain exact serving,
+        :meth:`QueryService.submit_qos` for deadline/priority/recall
+        terms, and wrap the service in
+        :class:`~repro.service.AsyncQueryService` for asyncio clients.
+        """
         from ..service import QueryService
 
         return QueryService(self, **kwargs)

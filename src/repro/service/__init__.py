@@ -4,38 +4,67 @@
 a multi-client service:
 
 * :mod:`~repro.service.admission` — bounded in-flight queries with
-  backpressure statistics,
+  backpressure statistics, priority-ordered admission, and deadline
+  shedding of queued waiters,
 * :mod:`~repro.service.coalescer` — cross-query shared-scan batching:
   concurrent E-selections on the same (table, column, model) fuse into
   one stacked blocked scan, demuxed per query through streaming top-k
-  heaps, bit-identical to serial execution,
+  heaps, bit-identical to serial execution; gather windows optionally
+  adapt to the observed arrival rate,
 * :mod:`~repro.service.plan_cache` — repeated query shapes skip the
   optimizer via parameterized plan-fingerprint templates,
 * :mod:`~repro.service.semantic_cache` — exact and (opt-in) cosine
-  near-duplicate result caching with TTL, LRU eviction, and catalog-
-  version invalidation,
+  near-duplicate result caching with TTL, LRU eviction, catalog-version
+  invalidation, and (opt-in) TinyLFU cost-aware admission,
+* :mod:`~repro.service.qos` — the QoS primitives: deadlines, priorities,
+  EWMA estimators, and the explicit ``degraded`` response contract,
 * :mod:`~repro.service.service` — the :class:`QueryService` facade and
-  per-client :class:`SessionHandle`.
+  per-client :class:`SessionHandle`,
+* :mod:`~repro.service.async_front` — :class:`AsyncQueryService`, an
+  asyncio submission front holding thousands of idle connections over a
+  bounded dispatcher pool.
 """
 
 from .admission import AdmissionController, AdmissionStats
+from .async_front import AsyncFrontStats, AsyncQueryService
 from .coalescer import (
     CoalescerStats,
     CoalescingScheduler,
     SharedScanRequest,
+    materialize_selection,
     unwrap_shared_scan,
 )
 from .plan_cache import PlanCache, PlanCacheStats, fingerprint, parameterize, substitute
+from .qos import (
+    DEFAULT_PRIORITY,
+    ArrivalRateEstimator,
+    EWMA,
+    ExecTimeTracker,
+    FrequencySketch,
+    QoSParams,
+    QoSStats,
+    QueryResponse,
+)
 from .semantic_cache import ResultCacheStats, SemanticResultCache, table_versions
 from .service import QueryService, ServiceStats, SessionHandle
 
 __all__ = [
     "AdmissionController",
     "AdmissionStats",
+    "ArrivalRateEstimator",
+    "AsyncFrontStats",
+    "AsyncQueryService",
     "CoalescerStats",
     "CoalescingScheduler",
+    "DEFAULT_PRIORITY",
+    "EWMA",
+    "ExecTimeTracker",
+    "FrequencySketch",
     "PlanCache",
     "PlanCacheStats",
+    "QoSParams",
+    "QoSStats",
+    "QueryResponse",
     "QueryService",
     "ResultCacheStats",
     "SemanticResultCache",
@@ -43,6 +72,7 @@ __all__ = [
     "SessionHandle",
     "SharedScanRequest",
     "fingerprint",
+    "materialize_selection",
     "parameterize",
     "substitute",
     "table_versions",

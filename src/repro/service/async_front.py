@@ -1,0 +1,304 @@
+"""Asyncio submission front: thousands of idle clients, bounded execution.
+
+:class:`QueryService` executes on its callers' threads, so holding ten
+thousand connected-but-mostly-idle clients would cost ten thousand OS
+threads.  :class:`AsyncQueryService` decouples *connections* from
+*execution*: any number of coroutines ``await submit(...)`` at the cost
+of a heap entry each, while a small pool of dispatcher threads (sized by
+``REPRO_QOS_WORKERS``, defaulting to the admission bound) drains the
+queue into the blocking service.
+
+The queue is deadline- and priority-aware:
+
+* dispatch order is highest priority first, FIFO within a level (the
+  same discipline the admission controller applies to its waiters);
+* an entry whose deadline expires while still queued is shed with
+  :class:`~repro.errors.DeadlineExceededError` without ever touching the
+  service — the front's analogue of admission-queue shedding;
+* the remaining QoS terms (residual deadline, priority, recall floor)
+  are forwarded to :meth:`QueryService.submit_qos`, so the service's
+  shed/degrade machinery sees the time actually left, not the client's
+  original budget.
+
+Results come back as :class:`~repro.service.qos.QueryResponse`, resolved
+onto the submitting coroutine's event loop via
+``loop.call_soon_threadsafe`` — the only thread-to-loop handoff asyncio
+sanctions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import threading
+import time
+from dataclasses import dataclass
+
+from ..config import get_config
+from ..errors import DeadlineExceededError, ServiceError
+from .qos import DEFAULT_PRIORITY, QueryResponse
+from .service import QueryService
+
+
+@dataclass
+class AsyncFrontStats:
+    """Counters for the async front's queue (read under its lock)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Entries shed because their deadline expired while queued here.
+    shed_expired: int = 0
+    #: Entries rejected because the front closed without draining.
+    rejected_on_close: int = 0
+    #: Highest queue depth observed.
+    queued_peak: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed_expired": self.shed_expired,
+            "rejected_on_close": self.rejected_on_close,
+            "queued_peak": self.queued_peak,
+        }
+
+
+class _Pending:
+    """One queued submission: QoS terms plus the future to resolve."""
+
+    __slots__ = (
+        "query",
+        "priority",
+        "deadline",
+        "min_recall",
+        "tag",
+        "timeout_s",
+        "future",
+        "loop",
+    )
+
+    def __init__(
+        self, query, priority, deadline, min_recall, tag, timeout_s, future, loop
+    ) -> None:
+        self.query = query
+        self.priority = priority
+        self.deadline = deadline
+        self.min_recall = min_recall
+        self.tag = tag
+        self.timeout_s = timeout_s
+        self.future = future
+        self.loop = loop
+
+
+def _resolve(pending: _Pending, result=None, error: BaseException | None = None):
+    """Hand a worker-thread outcome back to the submitting event loop."""
+
+    def _set() -> None:
+        if pending.future.cancelled():
+            return
+        if error is not None:
+            pending.future.set_exception(error)
+        else:
+            pending.future.set_result(result)
+
+    try:
+        pending.loop.call_soon_threadsafe(_set)
+    except RuntimeError:
+        pass  # the submitting loop already shut down; nobody is waiting
+
+
+class AsyncQueryService:
+    """Async submission front over a (blocking) :class:`QueryService`.
+
+    Usage::
+
+        async with AsyncQueryService(service) as front:
+            response = await front.submit(query, deadline_s=0.1, priority=5)
+
+    The front does not own the service: closing the front drains or
+    rejects *queued* submissions but leaves the service running (call
+    :meth:`QueryService.shutdown` separately).
+
+    Args:
+        service: the blocking service to dispatch into.
+        workers: dispatcher thread count — the front's concurrency
+            toward the service.  Defaults to ``config.qos_workers``,
+            falling back to the service's admission bound (more workers
+            than slots would only queue inside admission instead).
+    """
+
+    def __init__(self, service: QueryService, *, workers: int | None = None) -> None:
+        config = get_config()
+        if workers is None:
+            workers = config.qos_workers
+        if workers is None:
+            workers = service.admission.max_inflight
+        self.service = service
+        self.workers = max(1, int(workers))
+        self.stats = AsyncFrontStats()
+        self._heap: list[list] = []
+        self._seq = 0
+        self._busy = 0
+        self._cond = threading.Condition()
+        self._threads: list[threading.Thread] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "AsyncQueryService":
+        """Spawn the dispatcher threads (idempotent)."""
+        with self._cond:
+            if self._closed:
+                raise ServiceError("async front is closed")
+            if self._threads:
+                return self
+            self._threads = [
+                threading.Thread(
+                    target=self._worker, name=f"qos-front-{i}", daemon=True
+                )
+                for i in range(self.workers)
+            ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    async def close(self, *, drain: bool = True) -> None:
+        """Stop the front: drain queued work, or reject it.
+
+        With ``drain=True`` waits (off-loop, so the event loop stays
+        responsive) until the queue is empty and every dispatcher is
+        idle; with ``drain=False`` every still-queued submission fails
+        with :class:`~repro.errors.ServiceError`.  In-flight dispatches
+        finish either way — accepted work is never abandoned mid-query.
+        """
+        with self._cond:
+            self._closed = True
+            if not drain:
+                while self._heap:
+                    entry = heapq.heappop(self._heap)
+                    pending = entry[2]
+                    self.stats.rejected_on_close += 1
+                    _resolve(
+                        pending,
+                        error=ServiceError("async front closed before dispatch"),
+                    )
+            self._cond.notify_all()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._join)
+
+    def _join(self) -> None:
+        with self._cond:
+            while self._heap or self._busy:
+                self._cond.wait()
+        for thread in self._threads:
+            thread.join()
+
+    async def __aenter__(self) -> "AsyncQueryService":
+        return self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Submission (coroutine side)
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        query,
+        *,
+        deadline_s: float | None = None,
+        priority: int = DEFAULT_PRIORITY,
+        min_recall: float | None = None,
+        tag: str = "async/anon",
+        timeout_s: float | None = None,
+    ) -> QueryResponse:
+        """Queue a query and await its :class:`QueryResponse`.
+
+        The deadline clock starts *now* — time spent queued in the front
+        counts against it, and only the residual budget is forwarded to
+        the service at dispatch.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        deadline = (
+            None
+            if deadline_s is None
+            else time.perf_counter() + float(deadline_s)
+        )
+        pending = _Pending(
+            query, priority, deadline, min_recall, tag, timeout_s, future, loop
+        )
+        with self._cond:
+            if self._closed:
+                raise ServiceError("async front is closed")
+            if not self._threads:
+                raise ServiceError(
+                    "async front not started (use `async with` or .start())"
+                )
+            self._seq += 1
+            self.stats.submitted += 1
+            heapq.heappush(self._heap, [-priority, self._seq, pending])
+            self.stats.queued_peak = max(self.stats.queued_peak, len(self._heap))
+            self._cond.notify()
+        return await future
+
+    @property
+    def queued(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Dispatch (worker-thread side)
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._heap and not self._closed:
+                    self._cond.wait()
+                if not self._heap:
+                    self._cond.notify_all()  # wake close()'s drain wait
+                    return
+                pending = heapq.heappop(self._heap)[2]
+                self._busy += 1
+            try:
+                self._dispatch(pending)
+            finally:
+                with self._cond:
+                    self._busy -= 1
+                    self._cond.notify_all()
+
+    def _dispatch(self, pending: _Pending) -> None:
+        now = time.perf_counter()
+        if pending.deadline is not None and now >= pending.deadline:
+            with self._cond:
+                self.stats.shed_expired += 1
+            _resolve(
+                pending,
+                error=DeadlineExceededError(
+                    "deadline expired while queued in the async front"
+                ),
+            )
+            return
+        remaining = (
+            None if pending.deadline is None else pending.deadline - now
+        )
+        try:
+            response = self.service.submit_qos(
+                pending.query,
+                deadline_s=remaining,
+                priority=pending.priority,
+                min_recall=pending.min_recall,
+                tag=pending.tag,
+                timeout_s=pending.timeout_s,
+            )
+        except BaseException as exc:
+            with self._cond:
+                self.stats.failed += 1
+            _resolve(pending, error=exc)
+            return
+        with self._cond:
+            self.stats.completed += 1
+        _resolve(pending, result=response)

@@ -50,6 +50,7 @@ from ..relational.column import Column
 from ..relational.schema import DataType, Field as SchemaField
 from ..relational.table import Table
 from ..vector.topk import StreamingTopK, top_k_per_row
+from .qos import ArrivalRateEstimator
 
 #: Fallback shared-scan block budget when no buffer budget is configured.
 DEFAULT_SCAN_BLOCK_BYTES = 8 << 20
@@ -168,11 +169,19 @@ class CoalescingScheduler:
     """Groups concurrent same-source E-selections into shared scans.
 
     The first submission for a source becomes the group *leader*: it waits
-    up to ``window_s`` for concurrently-arriving queries on the same key
-    (skipping the wait when ``contention()`` says nobody else is in
-    flight), snapshots the group, and executes one shared blocked scan for
-    all of them on the engine's morsel scheduler.  Followers block on the
-    group's event and pick up their demuxed result.
+    up to a gather window for concurrently-arriving queries on the same
+    key (skipping the wait when the in-flight probe says nobody else is
+    in flight), snapshots the group, and executes one shared blocked scan
+    for all of them on the engine's morsel scheduler.  Followers block on
+    the group's event and pick up their demuxed result.
+
+    With ``adaptive=True`` the gather window is sized per group from an
+    EWMA of observed arrival gaps — roughly the time needed for
+    ``target_batch`` more queries to arrive — instead of the fixed
+    ``window_s``.  ``window_s`` then acts as the upper bound, so the
+    adaptive window never waits *longer* than the fixed one: heavy
+    traffic batches in a fraction of the fixed window, light traffic
+    pays (almost) nothing.
     """
 
     def __init__(
@@ -182,12 +191,19 @@ class CoalescingScheduler:
         window_s: float = 0.002,
         max_batch: int = 64,
         inflight_probe=None,
+        adaptive: bool = False,
+        window_min_s: float = 0.0,
+        target_batch: int = 8,
     ) -> None:
         if max_batch < 1:
             raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
         self.engine = engine  # repro.query.Engine
         self.window_s = max(0.0, window_s)
         self.max_batch = max_batch
+        self.adaptive = adaptive
+        self.window_min_s = max(0.0, window_min_s)
+        self.target_batch = max(1, min(target_batch, max_batch))
+        self._arrivals = ArrivalRateEstimator()
         #: Optional callable reporting how many queries are currently in
         #: flight service-wide; lets the leader stop waiting as soon as
         #: every in-flight query has had the chance to join the group.
@@ -196,11 +212,25 @@ class CoalescingScheduler:
         self._lock = threading.Lock()
         self.stats = CoalescerStats()
 
+    def current_window_s(self) -> float:
+        """The gather window a group leader would use right now."""
+        if not self.adaptive:
+            return self.window_s
+        return self._arrivals.window(
+            self.target_batch - 1, self.window_s, self.window_min_s
+        )
+
     # ------------------------------------------------------------------
     # Submission path (runs on client threads)
     # ------------------------------------------------------------------
     def submit(self, request: SharedScanRequest) -> Table:
+        """Join (or lead) the shared-scan group for this request's source.
+
+        Blocks until the group executed; returns this request's demuxed,
+        exact-rescored result (or re-raises its per-request error).
+        """
         key = request.key
+        self._arrivals.observe()
         with self._lock:
             group = self._groups.get(key)
             if (
@@ -245,12 +275,14 @@ class CoalescingScheduler:
         The wait ends early once the group has absorbed every query the
         service currently has in flight (nobody else could join), so an
         uncontended service pays (almost) no coalescing latency while a
-        loaded one batches aggressively.
+        loaded one batches aggressively.  Under ``adaptive`` sizing the
+        window itself shrinks with the observed arrival rate.
         """
-        if self.window_s <= 0:
+        window_s = self.current_window_s()
+        if window_s <= 0:
             return
-        deadline = time.perf_counter() + self.window_s
-        poll = min(self.window_s / 8, 0.0002)
+        deadline = time.perf_counter() + window_s
+        poll = min(window_s / 8, 0.0002)
         while True:
             with self._lock:
                 size = len(group.requests)
@@ -490,14 +522,31 @@ class CoalescingScheduler:
         scores: np.ndarray,
         req: SharedScanRequest,
     ) -> Table:
-        """Mirror the planner's E-selection materialization + wrappers."""
-        out = table.take(ids).with_column(
-            Column(SchemaField(req.node.score_column, DataType.FLOAT32), scores)
+        return materialize_selection(
+            table, ids, scores, req.node.score_column, req.wrappers
         )
-        for wrapper in reversed(req.wrappers):
-            if isinstance(wrapper, ProjectNode):
-                out = out.select(list(wrapper.names))
-            else:
-                assert isinstance(wrapper, LimitNode)
-                out = out.slice(0, wrapper.n)
-        return out
+
+
+def materialize_selection(
+    table: Table,
+    ids: np.ndarray,
+    scores: np.ndarray,
+    score_column: str,
+    wrappers: list[LogicalNode],
+) -> Table:
+    """Mirror the planner's E-selection materialization + plan wrappers.
+
+    Shared by the coalescer's per-request demux and the QoS layer's
+    degraded (quantized prescreen-only) execution path, so both produce
+    tables shaped exactly like the serial planner's output.
+    """
+    out = table.take(ids).with_column(
+        Column(SchemaField(score_column, DataType.FLOAT32), scores)
+    )
+    for wrapper in reversed(wrappers):
+        if isinstance(wrapper, ProjectNode):
+            out = out.select(list(wrapper.names))
+        else:
+            assert isinstance(wrapper, LimitNode)
+            out = out.slice(0, wrapper.n)
+    return out

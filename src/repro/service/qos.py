@@ -1,0 +1,311 @@
+"""Tail-latency QoS primitives: deadlines, priorities, and estimators.
+
+The serving gap this module closes is the one ``fig_service`` measures:
+under heavy concurrency, queue wait dominates latency and p99 collapses
+to ~46x the single-client value.  The QoS layer keeps tails flat by
+making three decisions *before* work is executed, all of which need
+cheap online estimates:
+
+* **shed** — a query whose deadline is provably unmeetable (already
+  expired, or the execution-time EWMA says even the cheapest path cannot
+  finish in time) fails fast with
+  :class:`~repro.errors.DeadlineExceededError` instead of occupying an
+  execution slot it cannot use;
+* **degrade** — when the caller states a recall floor, a query that
+  cannot meet its deadline at full precision drops to an int8/PQ
+  prescreen-only scan (cheaper by the compression ratio) and the
+  response is explicitly flagged ``degraded`` — never silently;
+* **adapt** — the coalescer's gather window is sized from an EWMA of
+  observed arrival gaps, so an idle service pays no batching latency
+  while a loaded one batches aggressively.
+
+Everything here is mechanism, not policy: the classes are small,
+thread-safe, and independently testable.  :class:`QueryService` and
+:class:`~repro.service.async_front.AsyncQueryService` wire them together.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..relational.table import Table
+
+#: Priority of a submission that did not ask for one.  Higher wins.
+DEFAULT_PRIORITY = 0
+
+
+class EWMA:
+    """Exponentially weighted moving average with a sample counter.
+
+    ``alpha`` is the weight of each new observation; the first
+    observation seeds the average directly.  Thread-safety is the
+    caller's job (the trackers below hold their own locks).
+    """
+
+    __slots__ = ("alpha", "value", "n")
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.value: float | None = None
+        self.n = 0
+
+    def update(self, sample: float) -> float:
+        sample = float(sample)
+        self.value = (
+            sample
+            if self.value is None
+            else self.value + self.alpha * (sample - self.value)
+        )
+        self.n += 1
+        return self.value
+
+
+class ExecTimeTracker:
+    """Per-mode EWMA of observed execution seconds (queue wait excluded).
+
+    Feeds the shed/degrade decision: ``estimate(mode)`` returns the
+    safety-padded expected execution time, or ``None`` until at least
+    ``min_samples`` observations exist — a cold tracker never sheds, so
+    the first queries of a fresh service always run and seed it.
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.2,
+        safety: float = 1.5,
+        min_samples: int = 5,
+    ) -> None:
+        self.safety = max(1.0, float(safety))
+        self.min_samples = max(1, int(min_samples))
+        self._ewmas: dict[str, EWMA] = {}
+        self._alpha = alpha
+        self._lock = threading.Lock()
+
+    def observe(self, mode: str, seconds: float) -> None:
+        """Record one completed execution of ``mode`` ("full"/"degraded")."""
+        with self._lock:
+            ewma = self._ewmas.get(mode)
+            if ewma is None:
+                ewma = self._ewmas[mode] = EWMA(self._alpha)
+            ewma.update(max(0.0, seconds))
+
+    def estimate(self, mode: str) -> float | None:
+        """Safety-padded expected seconds for ``mode``, if warmed up."""
+        with self._lock:
+            ewma = self._ewmas.get(mode)
+            if ewma is None or ewma.n < self.min_samples or ewma.value is None:
+                return None
+            return ewma.value * self.safety
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                mode: {"ewma_s": e.value, "n": e.n}
+                for mode, e in self._ewmas.items()
+            }
+
+
+class ArrivalRateEstimator:
+    """EWMA of inter-arrival gaps, for adaptive coalesce windows.
+
+    ``window(target_extra, max_s, min_s)`` answers: "how long should a
+    shared-scan group leader hold the group open to gather roughly
+    ``target_extra`` more concurrent queries?"  Under heavy traffic the
+    gap shrinks and so does the window (less added latency, same batch
+    size); under light traffic the window collapses toward ``min_s``
+    because the leader's companion early-exit (the in-flight probe) ends
+    the wait anyway.
+    """
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        self._gap = EWMA(alpha)
+        self._last: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, now: float | None = None) -> None:
+        """Record one arrival (call on every submission)."""
+        now = time.perf_counter() if now is None else now
+        with self._lock:
+            if self._last is not None:
+                self._gap.update(max(0.0, now - self._last))
+            self._last = now
+
+    def mean_gap(self) -> float | None:
+        """EWMA of seconds between arrivals (``None`` before 2 arrivals)."""
+        with self._lock:
+            return self._gap.value
+
+    def window(
+        self, target_extra: int, max_s: float, min_s: float = 0.0
+    ) -> float:
+        """Gather window sized to absorb ``target_extra`` more arrivals."""
+        gap = self.mean_gap()
+        if gap is None:
+            return max_s
+        return min(max_s, max(min_s, gap * max(1, target_extra)))
+
+
+@dataclass
+class QoSParams:
+    """Per-query quality-of-service contract.
+
+    Attributes:
+        deadline: absolute ``time.perf_counter()`` deadline, or ``None``.
+        priority: larger values are scheduled (and admitted) first.
+        min_recall: recall floor under which the service may *degrade*
+            the query to a quantized prescreen-only scan instead of
+            shedding it when the deadline is tight.  ``None`` forbids
+            degradation: the query either runs at full precision or is
+            shed.
+    """
+
+    deadline: float | None = None
+    priority: int = DEFAULT_PRIORITY
+    min_recall: float | None = None
+
+    @classmethod
+    def from_relative(
+        cls,
+        deadline_s: float | None,
+        *,
+        priority: int = DEFAULT_PRIORITY,
+        min_recall: float | None = None,
+        now: float | None = None,
+    ) -> "QoSParams":
+        """Build params from a deadline *relative to now* (seconds)."""
+        now = time.perf_counter() if now is None else now
+        deadline = None if deadline_s is None else now + float(deadline_s)
+        return cls(deadline=deadline, priority=priority, min_recall=min_recall)
+
+    def remaining(self, now: float | None = None) -> float | None:
+        """Seconds until the deadline (negative if passed); None if unset."""
+        if self.deadline is None:
+            return None
+        now = time.perf_counter() if now is None else now
+        return self.deadline - now
+
+
+@dataclass
+class QueryResponse:
+    """A service result plus the QoS metadata callers must see.
+
+    ``table`` is the materialized result.  ``degraded`` is the explicit
+    flag the exactness contract requires: ``False`` means the result is
+    bit-identical to serial fp32 execution; ``True`` means the query ran
+    on the quantized prescreen-only path under its stated recall floor
+    (``precision`` says which codec).  Degraded responses are never
+    cached and never silent.
+    """
+
+    table: Table
+    degraded: bool = False
+    precision: str = "fp32"
+    latency_s: float = 0.0
+    #: ``None`` when the query carried no deadline; otherwise whether the
+    #: result was produced before it (a late result is still returned —
+    #: shedding only happens *before* execution starts).
+    deadline_met: bool | None = None
+    cache_hit: bool = False
+
+
+@dataclass
+class QoSStats:
+    """Counters for the deadline/priority/degradation machinery."""
+
+    #: Submissions that carried a deadline.
+    with_deadline: int = 0
+    #: Shed because the deadline had already expired (at submission or
+    #: while queued in the async front / admission queue).
+    shed_expired: int = 0
+    #: Shed because the execution-time estimate proved the deadline
+    #: unmeetable even by the cheapest allowed path.
+    shed_unmeetable: int = 0
+    #: Queries executed on the degraded (quantized prescreen-only) path.
+    degraded: int = 0
+    #: Queries that completed before their deadline.
+    deadline_met: int = 0
+    #: Queries that completed after their deadline (late, not shed).
+    deadline_missed: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "with_deadline": self.with_deadline,
+            "shed_expired": self.shed_expired,
+            "shed_unmeetable": self.shed_unmeetable,
+            "degraded": self.degraded,
+            "deadline_met": self.deadline_met,
+            "deadline_missed": self.deadline_missed,
+        }
+
+
+def _mix(h: int, salt: int) -> int:
+    """Cheap 32-bit integer mix (xorshift-multiply)."""
+    x = (h ^ salt) & 0xFFFFFFFF
+    x = (x * 0x9E3779B1) & 0xFFFFFFFF
+    x ^= x >> 15
+    x = (x * 0x85EBCA6B) & 0xFFFFFFFF
+    x ^= x >> 13
+    return x
+
+
+class FrequencySketch:
+    """Count-min sketch with periodic halving — TinyLFU's frequency memory.
+
+    Estimates how often a key has been *asked for* recently, in O(depth)
+    per record/estimate and a fixed few KiB of memory.  After
+    ``sample_multiple * width`` recordings every counter halves, so stale
+    popularity decays and the sketch tracks the current workload.
+
+    Used by :class:`~repro.service.semantic_cache.SemanticResultCache`
+    for cost-aware admission: a new entry only displaces the LRU victim
+    when ``frequency * cost`` says it is worth more.
+    """
+
+    def __init__(
+        self, width: int = 2048, depth: int = 4, sample_multiple: int = 8
+    ) -> None:
+        if width < 2 or depth < 1:
+            raise ValueError("width must be >= 2 and depth >= 1")
+        w = 1
+        while w < width:
+            w <<= 1
+        self._table = np.zeros((depth, w), dtype=np.uint32)
+        self._mask = w - 1
+        self._salts = [
+            _mix(0xB5297A4D * (i + 1), 0x68E31DA4) for i in range(depth)
+        ]
+        self._ops = 0
+        self._sample = max(1, sample_multiple) * w
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def key_hash(key) -> int:
+        """Stable-within-process 32-bit hash of any hashable key."""
+        return hash(key) & 0xFFFFFFFF
+
+    def record(self, h: int) -> None:
+        """Count one access of the key hashed to ``h``."""
+        with self._lock:
+            for i, salt in enumerate(self._salts):
+                self._table[i, _mix(h, salt) & self._mask] += 1
+            self._ops += 1
+            if self._ops >= self._sample:
+                self._table >>= 1
+                self._ops //= 2
+
+    def estimate(self, h: int) -> int:
+        """Approximate recent access count of the key hashed to ``h``."""
+        with self._lock:
+            return int(
+                min(
+                    self._table[i, _mix(h, salt) & self._mask]
+                    for i, salt in enumerate(self._salts)
+                )
+            )

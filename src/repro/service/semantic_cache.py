@@ -15,6 +15,13 @@ Entries are invalidated by catalog version (any re-registration of a
 referenced table changes the key — the same fingerprint-invalidation
 contract as ``Engine._quant_stores``), expire after a TTL, and are evicted
 LRU beyond capacity.
+
+With ``tinylfu=True`` the cache adds **cost-aware TinyLFU admission**: a
+:class:`~repro.service.qos.FrequencySketch` counts recent lookups per
+key, and a new entry only displaces the LRU victim when its estimated
+``frequency * cost`` (cost = the seconds it took to compute, passed by
+the service at store time) exceeds the victim's.  One-off scans can no
+longer wash a hot working set out of the cache.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from ..algebra.logical import LogicalNode, ScanNode, walk
 from ..relational.catalog import Catalog
 from ..relational.table import Table
 from ..vector.norms import normalize_vector
+from .qos import FrequencySketch
 
 
 def table_versions(plan: LogicalNode, catalog: Catalog) -> tuple:
@@ -61,6 +69,9 @@ class _Entry:
     #: Unit-normalized query vector, kept only for single-vector payloads
     #: so near-duplicate lookups can compare by cosine.
     qnorm: np.ndarray | None
+    #: What this entry saves per hit (seconds to recompute); weighs the
+    #: TinyLFU admission duel.
+    cost: float = 1.0
 
 
 @dataclass
@@ -71,6 +82,9 @@ class ResultCacheStats:
     expirations: int = 0
     evictions: int = 0
     invalidations: int = 0
+    #: New entries turned away by TinyLFU admission (the LRU victim was
+    #: worth more than the newcomer).
+    admission_rejects: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -80,21 +94,25 @@ class ResultCacheStats:
             "expirations": self.expirations,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "admission_rejects": self.admission_rejects,
         }
 
 
 @dataclass
 class SemanticResultCache:
-    """TTL + LRU result cache with optional cosine near-duplicate hits."""
+    """TTL + LRU result cache with optional cosine near-duplicate hits
+    and optional TinyLFU cost-aware admission (``tinylfu=True``)."""
 
     capacity: int = 512
     ttl_s: float = 300.0
     near_dup_threshold: float | None = None
+    tinylfu: bool = False
     stats: ResultCacheStats = field(default_factory=ResultCacheStats)
 
     def __post_init__(self) -> None:
         self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
         self._groups: dict[tuple, list] = {}
+        self._sketch = FrequencySketch() if self.tinylfu else None
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -134,6 +152,10 @@ class SemanticResultCache:
         now = time.monotonic()
         group = (fingerprint, versions)
         key = (*group, params_signature(params))
+        if self._sketch is not None:
+            # Count the *demand* for this key whether or not it hits, so
+            # admission knows what the workload keeps asking for.
+            self._sketch.record(FrequencySketch.key_hash(key))
         with self._lock:
             entry = self._live(key, now)
             if entry is not None:
@@ -166,8 +188,21 @@ class SemanticResultCache:
         return None
 
     def store(
-        self, fingerprint: str, versions: tuple, params: list, result: Table
+        self,
+        fingerprint: str,
+        versions: tuple,
+        params: list,
+        result: Table,
+        *,
+        cost: float = 1.0,
     ) -> None:
+        """Insert a computed result (``cost``: seconds it took to compute).
+
+        Under TinyLFU admission an insert that would evict may instead be
+        rejected: the new entry is admitted only if its estimated
+        ``frequency * cost`` beats the LRU victim's, so the cache keeps
+        whichever entry saves more expected work.
+        """
         if self.capacity <= 0:
             return
         group = (fingerprint, versions)
@@ -179,12 +214,27 @@ class SemanticResultCache:
         with self._lock:
             self._remove(key)  # refresh TTL/LRU position on re-store
             self._entries[key] = _Entry(
-                group, result, time.monotonic() + self.ttl_s, qnorm
+                group,
+                result,
+                time.monotonic() + self.ttl_s,
+                qnorm,
+                cost=max(cost, 1e-9),
             )
             self._groups.setdefault(group, []).append(key)
             while len(self._entries) > self.capacity:
-                oldest = next(iter(self._entries))
-                self._remove(oldest)
+                victim_key = next(iter(self._entries))
+                if self._sketch is not None and victim_key != key:
+                    new_worth = self._sketch.estimate(
+                        FrequencySketch.key_hash(key)
+                    ) * self._entries[key].cost
+                    victim_worth = self._sketch.estimate(
+                        FrequencySketch.key_hash(victim_key)
+                    ) * self._entries[victim_key].cost
+                    if new_worth < victim_worth:
+                        self._remove(key)
+                        self.stats.admission_rejects += 1
+                        break
+                self._remove(victim_key)
                 self.stats.evictions += 1
 
     def invalidate_table(self, name: str) -> int:

@@ -9,27 +9,54 @@ concurrent same-source E-selections into shared scans via the coalescing
 scheduler, and drives the engine's morsel scheduler with per-query tags
 so scheduled work is attributable per query.
 
+On top of that sits the **QoS layer** (:meth:`QueryService.submit_qos`):
+per-query deadlines, priorities, and recall floors.  A query whose
+deadline is provably unmeetable is shed with
+:class:`~repro.errors.DeadlineExceededError` before it wastes an
+execution slot; one that states a recall floor may instead be *degraded*
+to a quantized prescreen-only scan that fits the deadline — and the
+response carries an explicit ``degraded`` flag, never a silent
+approximation.
+
 Throughput — not single-query latency — is the service's contract, but
-correctness is non-negotiable: every result returned is bit-identical to
-executing the same query serially on the underlying engine.
+correctness is non-negotiable: every result returned **without** the
+``degraded`` flag is bit-identical to executing the same query serially
+on the underlying engine.  Degraded results bypass the result cache and
+singleflight entirely, so an approximate table can never be replayed as
+an exact answer.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..algebra.physical_planner import ExecutionReport, execute
 from ..config import get_config
-from ..errors import ServiceError, SessionClosedError
+from ..core.cost_model import quantized_recall_estimate
+from ..core.quantized_join import quantized_eselect
+from ..errors import DeadlineExceededError, ServiceError, SessionClosedError
 from ..query.builder import Engine, QueryBuilder
 from ..relational.table import Table
 from ..vector.norms import normalize_vector
 from .admission import AdmissionController
-from .coalescer import CoalescingScheduler, SharedScanRequest, unwrap_shared_scan
+from .coalescer import (
+    CoalescingScheduler,
+    SharedScanRequest,
+    materialize_selection,
+    unwrap_shared_scan,
+)
 from .plan_cache import PlanCache
+from .qos import (
+    DEFAULT_PRIORITY,
+    ExecTimeTracker,
+    QoSParams,
+    QoSStats,
+    QueryResponse,
+)
 from .semantic_cache import SemanticResultCache, params_signature, table_versions
 
 
@@ -68,11 +95,7 @@ class SessionHandle:
         self, query: "QueryBuilder | object", *, timeout_s: float | None = None
     ) -> Table:
         """Submit a query (builder or logical plan) and block for its result."""
-        with self._lock:
-            if self._closed:
-                raise SessionClosedError(f"session {self.name!r} is closed")
-            self.queries += 1
-            seq = self.queries
+        seq = self._next_seq()
         try:
             return self.service.submit(
                 query, tag=f"{self.name}/q{seq}", timeout_s=timeout_s
@@ -81,6 +104,51 @@ class SessionHandle:
             with self._lock:
                 self.errors += 1
             raise
+
+    def execute_qos(
+        self,
+        query: "QueryBuilder | object",
+        *,
+        deadline_s: float | None = None,
+        priority: int = DEFAULT_PRIORITY,
+        min_recall: float | None = None,
+        timeout_s: float | None = None,
+    ) -> QueryResponse:
+        """Submit with QoS terms; block for the annotated response.
+
+        Args:
+            deadline_s: deadline relative to now (seconds).  The query is
+                shed with ``DeadlineExceededError`` if it provably cannot
+                meet it; a late-but-started query still returns (with
+                ``deadline_met=False``).
+            priority: larger values win admission and scheduling first.
+            min_recall: recall floor under which the service may degrade
+                a deadline-pressed query to a quantized prescreen-only
+                scan (response flagged ``degraded``).  ``None`` forbids
+                degradation.
+            timeout_s: admission backpressure bound (overload wait).
+        """
+        seq = self._next_seq()
+        try:
+            return self.service.submit_qos(
+                query,
+                deadline_s=deadline_s,
+                priority=priority,
+                min_recall=min_recall,
+                tag=f"{self.name}/q{seq}",
+                timeout_s=timeout_s,
+            )
+        except BaseException:
+            with self._lock:
+                self.errors += 1
+            raise
+
+    def _next_seq(self) -> int:
+        with self._lock:
+            if self._closed:
+                raise SessionClosedError(f"session {self.name!r} is closed")
+            self.queries += 1
+            return self.queries
 
     def close(self) -> None:
         with self._lock:
@@ -115,7 +183,7 @@ class ServiceStats:
 
 
 class QueryService:
-    """Concurrent query service: admission + coalescing + caching.
+    """Concurrent query service: admission + coalescing + caching + QoS.
 
     Args:
         engine: the query engine to front (catalog, models, indexes and
@@ -124,15 +192,21 @@ class QueryService:
         admission_timeout_s: backpressure wait before rejecting.
         coalesce: enable cross-query shared-scan batching.
         coalesce_window_s: how long a scan-group leader waits for
-            concurrently-submitted queries before executing.
+            concurrently-submitted queries before executing (the *upper
+            bound* when the adaptive window is on).
         coalesce_max_batch: max queries fused into one shared scan.
         plan_cache_size: optimized-plan template cache capacity.
         result_cache_size: semantic result cache capacity (0 disables).
         result_cache_ttl_s: result cache entry time-to-live.
         near_dup_threshold: opt-in cosine threshold for approximate
             result-cache hits (``None`` keeps results exact).
+        adaptive_window: size coalesce windows from the observed arrival
+            rate instead of the fixed ``coalesce_window_s``.
+        result_cache_tinylfu: enable TinyLFU cost-aware admission on the
+            result cache.
 
-    Every knob defaults to the ``REPRO_SERVICE_*`` configuration.
+    Every knob defaults to the ``REPRO_SERVICE_*`` / ``REPRO_QOS_*``
+    configuration.
     """
 
     def __init__(
@@ -148,6 +222,8 @@ class QueryService:
         result_cache_size: int | None = None,
         result_cache_ttl_s: float | None = None,
         near_dup_threshold: float | None = None,
+        adaptive_window: bool | None = None,
+        result_cache_tinylfu: bool | None = None,
     ) -> None:
         config = get_config()
         self.engine = engine
@@ -180,6 +256,11 @@ class QueryService:
                 if near_dup_threshold is None
                 else near_dup_threshold
             ),
+            tinylfu=(
+                config.qos_cache_tinylfu
+                if result_cache_tinylfu is None
+                else result_cache_tinylfu
+            ),
         )
         self.coalescer = (
             CoalescingScheduler(
@@ -195,11 +276,23 @@ class QueryService:
                     else coalesce_max_batch
                 ),
                 inflight_probe=lambda: self.admission.inflight,
+                adaptive=(
+                    config.qos_adaptive_window
+                    if adaptive_window is None
+                    else adaptive_window
+                ),
+                target_batch=config.qos_window_target_batch,
             )
             if coalesce
             else None
         )
         self.stats = ServiceStats()
+        self.qos = QoSStats()
+        self.qos_tracker = ExecTimeTracker(
+            alpha=config.qos_ewma_alpha,
+            safety=config.qos_deadline_safety,
+            min_samples=config.qos_min_estimate_samples,
+        )
         self._stats_lock = threading.Lock()
         self._inflight_results: dict[tuple, _InflightResult] = {}
         self._singleflight_lock = threading.Lock()
@@ -210,6 +303,7 @@ class QueryService:
     # Sessions
     # ------------------------------------------------------------------
     def session(self, name: str | None = None) -> SessionHandle:
+        """Open a cheap per-client session handle."""
         with self._stats_lock:
             self._sessions += 1
             seq = self._sessions
@@ -227,82 +321,206 @@ class QueryService:
     ) -> Table:
         """Admit, plan, and execute one query; blocks until the result.
 
-        Called from client threads — the service has no worker pool of its
-        own; concurrency is whatever the callers bring, bounded by
-        admission control.
+        The no-QoS entry point: no deadline, default priority, never
+        degraded — the returned table is always bit-identical to serial
+        execution.  Called from client threads; the service has no worker
+        pool of its own; concurrency is whatever the callers bring,
+        bounded by admission control.
+        """
+        return self.submit_qos(
+            query, min_recall=1.0, tag=tag, timeout_s=timeout_s
+        ).table
+
+    def submit_qos(
+        self,
+        query: "QueryBuilder | object",
+        *,
+        deadline_s: float | None = None,
+        priority: int = DEFAULT_PRIORITY,
+        min_recall: float | None = None,
+        tag: str = "svc/anon",
+        timeout_s: float | None = None,
+    ) -> QueryResponse:
+        """Submit with QoS terms; return the result plus its QoS metadata.
+
+        The deadline drives three decisions, all *before* execution:
+
+        * already expired (at submission or while queued for admission)
+          → shed with :class:`~repro.errors.DeadlineExceededError`;
+        * execution-time estimate proves full precision unmeetable and
+          ``min_recall`` admits a quantized path that fits → run the
+          degraded (prescreen-only) scan, response flagged ``degraded``;
+        * estimate proves even the cheapest allowed path unmeetable →
+          shed with ``DeadlineExceededError``.
+
+        A query that *starts* in time but finishes late is returned
+        anyway, with ``deadline_met=False`` — shedding never discards
+        computed results.
+
+        Args:
+            deadline_s: deadline relative to now, in seconds (``None``:
+                no deadline).
+            priority: larger values win admission first among waiters.
+            min_recall: recall floor for degradation; ``None`` falls back
+                to ``config.qos_default_min_recall`` (itself ``None`` by
+                default, forbidding degradation).
+            tag: morsel-attribution tag for the engine scheduler.
+            timeout_s: admission backpressure bound.
         """
         if self._closed:
             raise ServiceError("service is shut down")
+        start = time.perf_counter()
+        config = get_config()
+        if min_recall is None:
+            min_recall = config.qos_default_min_recall
+        qos = QoSParams.from_relative(
+            deadline_s, priority=priority, min_recall=min_recall, now=start
+        )
         plan = query.plan if isinstance(query, QueryBuilder) else query
-        self.admission.acquire(timeout_s=timeout_s)
+        if qos.deadline is not None:
+            with self._stats_lock:
+                self.qos.with_deadline += 1
+        try:
+            self.admission.acquire(
+                timeout_s=timeout_s, priority=qos.priority, deadline=qos.deadline
+            )
+        except DeadlineExceededError:
+            with self._stats_lock:
+                self.qos.shed_expired += 1
+            raise
         with self._stats_lock:
             self.stats.submitted += 1
         try:
-            optimized, fkey, params = self.plans.optimize(
-                plan, catalog=self.engine.catalog
-            )
-            # The cache key covers everything that can change a result:
-            # table data versions, the index epoch (registering an index
-            # can flip the physical access path — approximate for
-            # HNSW/IVF), and the precision config (quantized scans are
-            # approximate for top-k, so results cached under one
-            # REPRO_PRECISION mode must not survive a config change).
-            config = get_config()
-            versions = (
-                *table_versions(optimized, self.engine.catalog),
-                ("__indexes__", self.engine.index_epoch),
-                (
-                    "__precision__",
-                    config.default_precision,
-                    config.default_min_recall,
-                    config.default_rerank_multiple,
-                ),
-            )
-            cached = self.results.lookup(fkey, versions, params)
-            if cached is not None:
-                with self._stats_lock:
-                    self.stats.result_cache_hits += 1
-                    self.stats.completed += 1
-                return cached
-            # Singleflight: an identical query already executing means
-            # this one just waits for that result — the result cache
-            # cannot catch duplicates that arrive mid-execution.
-            sf_key = (fkey, versions, params_signature(params))
-            with self._singleflight_lock:
-                slot = self._inflight_results.get(sf_key)
-                owner = slot is None
-                if owner:
-                    slot = _InflightResult()
-                    self._inflight_results[sf_key] = slot
-            if not owner:
-                slot.done.wait()
-                if slot.error is not None:
-                    raise slot.error
-                with self._stats_lock:
-                    self.stats.singleflight_hits += 1
-                    self.stats.completed += 1
-                assert slot.result is not None
-                return slot.result
-            try:
-                result = self._execute(optimized, tag)
-                self.results.store(fkey, versions, params, result)
-                slot.result = result
-            except BaseException as exc:
-                slot.error = exc
-                raise
-            finally:
-                with self._singleflight_lock:
-                    del self._inflight_results[sf_key]
-                slot.done.set()
+            response = self._run_admitted(plan, qos, tag, start)
             with self._stats_lock:
                 self.stats.completed += 1
-            return result
+                if response.degraded:
+                    self.qos.degraded += 1
+                if response.deadline_met is True:
+                    self.qos.deadline_met += 1
+                elif response.deadline_met is False:
+                    self.qos.deadline_missed += 1
+            return response
         except BaseException:
             with self._stats_lock:
                 self.stats.failed += 1
             raise
         finally:
             self.admission.release()
+
+    def _run_admitted(
+        self, plan, qos: QoSParams, tag: str, start: float
+    ) -> QueryResponse:
+        """Plan, consult caches, decide shed/degrade/full, and execute."""
+        optimized, fkey, params = self.plans.optimize(
+            plan, catalog=self.engine.catalog
+        )
+        # The cache key covers everything that can change a result:
+        # table data versions, the index epoch (registering an index
+        # can flip the physical access path — approximate for
+        # HNSW/IVF), and the precision config (quantized scans are
+        # approximate for top-k, so results cached under one
+        # REPRO_PRECISION mode must not survive a config change).
+        config = get_config()
+        versions = (
+            *table_versions(optimized, self.engine.catalog),
+            ("__indexes__", self.engine.index_epoch),
+            (
+                "__precision__",
+                config.default_precision,
+                config.default_min_recall,
+                config.default_rerank_multiple,
+            ),
+        )
+        cached = self.results.lookup(fkey, versions, params)
+        if cached is not None:
+            with self._stats_lock:
+                self.stats.result_cache_hits += 1
+            return self._respond(cached, qos, start, cache_hit=True)
+        remaining = qos.remaining()
+        if remaining is not None:
+            estimate = self.qos_tracker.estimate("full")
+            if estimate is not None and estimate > remaining:
+                # Full precision provably misses the deadline.  Degrade if
+                # the recall floor admits a quantized path that fits,
+                # otherwise shed now rather than burn a slot for nothing.
+                precision = self._degraded_precision(optimized, qos.min_recall)
+                degraded_est = self.qos_tracker.estimate("degraded")
+                if precision is None or (
+                    degraded_est is not None and degraded_est > remaining
+                ):
+                    with self._stats_lock:
+                        self.qos.shed_unmeetable += 1
+                    raise DeadlineExceededError(
+                        f"estimated execution {estimate:.3g}s exceeds the "
+                        f"{remaining:.3g}s left before the deadline"
+                    )
+                exec_start = time.perf_counter()
+                table = self._execute_degraded(optimized, precision, tag)
+                self.qos_tracker.observe(
+                    "degraded", time.perf_counter() - exec_start
+                )
+                # Degraded tables bypass the result cache and singleflight:
+                # an approximate answer must never be replayed as exact.
+                return self._respond(
+                    table, qos, start, degraded=True, precision=precision
+                )
+        # Singleflight: an identical query already executing means this
+        # one just waits for that result — the result cache cannot catch
+        # duplicates that arrive mid-execution.
+        sf_key = (fkey, versions, params_signature(params))
+        with self._singleflight_lock:
+            slot = self._inflight_results.get(sf_key)
+            owner = slot is None
+            if owner:
+                slot = _InflightResult()
+                self._inflight_results[sf_key] = slot
+        if not owner:
+            slot.done.wait()
+            if slot.error is not None:
+                raise slot.error
+            with self._stats_lock:
+                self.stats.singleflight_hits += 1
+            assert slot.result is not None
+            return self._respond(slot.result, qos, start)
+        try:
+            exec_start = time.perf_counter()
+            result = self._execute(optimized, tag)
+            exec_seconds = time.perf_counter() - exec_start
+            self.qos_tracker.observe("full", exec_seconds)
+            # The seconds it took to compute weigh this entry in TinyLFU
+            # cost-aware admission duels.
+            self.results.store(fkey, versions, params, result, cost=exec_seconds)
+            slot.result = result
+        except BaseException as exc:
+            slot.error = exc
+            raise
+        finally:
+            with self._singleflight_lock:
+                del self._inflight_results[sf_key]
+            slot.done.set()
+        return self._respond(result, qos, start)
+
+    @staticmethod
+    def _respond(
+        table: Table,
+        qos: QoSParams,
+        start: float,
+        *,
+        degraded: bool = False,
+        precision: str = "fp32",
+        cache_hit: bool = False,
+    ) -> QueryResponse:
+        now = time.perf_counter()
+        met = None if qos.deadline is None else now <= qos.deadline
+        return QueryResponse(
+            table=table,
+            degraded=degraded,
+            precision=precision,
+            latency_s=now - start,
+            deadline_met=met,
+            cache_hit=cache_hit,
+        )
 
     def _execute(self, optimized, tag: str) -> Table:
         request = self._shared_scan_request(optimized, tag)
@@ -315,6 +533,57 @@ class QueryService:
         ctx = self.engine.context(tag=tag)
         report = ExecutionReport()
         return execute(optimized, ctx, report=report)
+
+    # ------------------------------------------------------------------
+    # Degraded (quantized prescreen-only) execution
+    # ------------------------------------------------------------------
+    def _degraded_precision(
+        self, optimized, min_recall: float | None
+    ) -> str | None:
+        """Cheapest quantized codec clearing the recall floor, or ``None``.
+
+        ``None`` also covers plans the degraded path cannot run (anything
+        but ``Project*/Limit*(ESelect(Scan))``) — those queries shed
+        rather than degrade.
+        """
+        if min_recall is None or min_recall > 1.0:
+            return None
+        if unwrap_shared_scan(optimized) is None:
+            return None
+        rerank = get_config().default_rerank_multiple
+        for precision in ("pq", "int8"):  # cheapest codes first
+            estimate = quantized_recall_estimate(
+                precision, rerank_multiple=rerank
+            )
+            if estimate >= min_recall:
+                return precision
+        return None
+
+    def _execute_degraded(self, optimized, precision: str, tag: str) -> Table:
+        """Quantized prescreen-only E-selection for a deadline-pressed query.
+
+        Streams the compressed codes (shared, build-once via the engine
+        context's quantized store cache) instead of the fp32 matrix; the
+        emitted rows may miss true neighbours within ``1 - min_recall``,
+        which is exactly what the caller's recall floor licensed.
+        """
+        from ..algebra.physical_planner import _embed_column
+
+        match = unwrap_shared_scan(optimized)
+        assert match is not None  # guarded by _degraded_precision
+        wrappers, node = match
+        ctx = self.engine.context(tag=tag)
+        table = ctx.catalog.get(node.child.table_name)
+        vectors = _embed_column(table, node.column, node.model_name, ctx)
+        key = (node.child.table_name, node.column, node.model_name)
+        store = ctx.quant_store_for(key, vectors, precision)
+        query = node.query
+        if not isinstance(query, np.ndarray):
+            query = ctx.store_for(node.model_name).embed_items([query])[0]
+        result = quantized_eselect(store, query, node.condition)
+        return materialize_selection(
+            table, result.ids, result.scores, node.score_column, wrappers
+        )
 
     def _shared_scan_request(
         self, optimized, tag: str
@@ -366,8 +635,11 @@ class QueryService:
                 "singleflight_hits": self.stats.singleflight_hits,
                 "sessions": self._sessions,
             }
+            qos = self.qos.snapshot()
+        qos["exec_estimates"] = self.qos_tracker.snapshot()
         snapshot = {
             "service": service,
+            "qos": qos,
             "admission": self.admission.stats.snapshot(),
             "plan_cache": self.plans.stats.snapshot(),
             "result_cache": self.results.stats.snapshot(),
@@ -383,9 +655,21 @@ class QueryService:
         }
         return snapshot
 
-    def shutdown(self) -> None:
-        """Refuse new submissions (in-flight queries drain normally)."""
+    def shutdown(
+        self, *, drain: bool = True, timeout_s: float | None = None
+    ) -> bool:
+        """Refuse new submissions; optionally drain in-flight work.
+
+        With ``drain=True`` (the default) blocks until every admitted
+        query has completed — the graceful shutdown clients expect: no
+        accepted work is abandoned mid-execution.  Returns ``True`` once
+        idle, ``False`` if ``timeout_s`` elapsed with work still in
+        flight (the service stays closed either way).
+        """
         self._closed = True
+        if not drain:
+            return True
+        return self.admission.wait_idle(timeout_s)
 
     def __enter__(self) -> "QueryService":
         return self

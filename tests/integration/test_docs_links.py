@@ -1,0 +1,42 @@
+"""Every relative markdown link in README.md and docs/*.md must resolve."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _markdown_files():
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def test_relative_links_resolve():
+    files = _markdown_files()
+    if not files:
+        pytest.skip("docs only present in a repository checkout")
+    broken = []
+    for path in files:
+        for target in LINK.findall(path.read_text(encoding="utf-8")):
+            if "://" in target or target.startswith(("#", "mailto:")):
+                continue
+            if target.startswith("../../"):
+                continue  # GitHub-web path (e.g. the CI badge), not a file
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append(f"{path.relative_to(REPO_ROOT)} -> {target}")
+    assert not broken, "broken relative links:\n" + "\n".join(broken)
+
+
+def test_docs_are_linked_from_readme():
+    readme = REPO_ROOT / "README.md"
+    if not readme.is_file():
+        pytest.skip("docs only present in a repository checkout")
+    text = readme.read_text(encoding="utf-8")
+    for doc in ("docs/ARCHITECTURE.md", "docs/TUNING.md"):
+        assert doc in text, f"README.md does not link {doc}"
