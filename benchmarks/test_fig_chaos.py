@@ -1,0 +1,240 @@
+"""fig_chaos: reliability layer overhead when idle, availability under faults.
+
+Two claims, one scenario:
+
+* **Idle overhead.** With no faults injected, the reliability machinery
+  (retry wrapper, heartbeat writes, watchdog poll, breaker lookups) must
+  be invisible: p50 latency with the layer armed (``idle``) stays within
+  a few percent of a run with retries and the watchdog disabled
+  (``off``).
+* **Availability under a fault storm.** With a deterministic 1% transient
+  fault rate injected into kernels, workers, and the dispatcher
+  (``storm``), the service still answers **every** query, and every
+  result is bit-identical to fault-free serial execution — the retries
+  recompute pure morsels, so recovery trades latency, never answers.
+
+The driver is deliberately serial (one session, one query at a time):
+per-query latency is then directly comparable across modes, while the
+engine still fans morsels out across its worker pool internally.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import Engine, QueryService
+from repro.bench import FigureReport, Seconds, latency_percentiles
+from repro.config import configure, get_config
+from repro.embedding import HashingEmbedder
+from repro.reliability.faults import FaultInjector, clear_injector, install_injector
+from repro.relational import Catalog, DataType, Field, Table
+from repro.relational.column import Column
+from repro.workloads import unit_vectors
+
+from _smoke import SMOKE, pick
+
+N_ROWS = pick(32_000, 1_500)
+N_PROBES = pick(64, 8)
+DIM = pick(128, 24)
+N_QUERIES = pick(400, 16)
+K = 10
+WARMUP = pick(24, 4)
+MODEL = "chaos-model"
+#: The storm arms every site serial service traffic can cross.
+STORM_SITES = (
+    "kernel.gemm",
+    "kernel.rescore",
+    "engine.worker",
+    "service.dispatch",
+)
+STORM_RATE = 0.01
+STORM_SEED = 20240
+#: Idle p50 must stay within this factor of the disabled-layer p50
+#: (plus a small absolute slack so micro-latency noise cannot flake).
+IDLE_OVERHEAD_FACTOR = 1.03
+IDLE_OVERHEAD_SLACK_S = 0.0005
+
+
+def _catalog() -> Catalog:
+    def table(name: str, n: int, stream: str) -> Table:
+        return Table.from_columns(
+            [
+                Column(Field("id", DataType.INT64), np.arange(n)),
+                Column(
+                    Field("emb", DataType.TENSOR, dim=DIM),
+                    unit_vectors(n, DIM, stream=stream),
+                ),
+            ]
+        )
+
+    catalog = Catalog()
+    catalog.register("corpus", table("corpus", N_ROWS, "fig_chaos/base"))
+    catalog.register("probes", table("probes", N_PROBES, "fig_chaos/probes"))
+    return catalog
+
+
+def _fresh_engine() -> Engine:
+    engine = Engine(_catalog())
+    engine.models.register(MODEL, HashingEmbedder(dim=DIM))
+    return engine
+
+
+def _builders(engine: Engine, qvecs) -> list:
+    """Mixed traffic: mostly e-selections, some joins (cross the worker
+    pool so ``engine.worker`` faults have somewhere to land)."""
+    builders = []
+    for i, qvec in enumerate(qvecs):
+        if i % 4 == 3:
+            builders.append(
+                engine.query("probes").ejoin(
+                    "corpus",
+                    left_on="emb",
+                    right_on="emb",
+                    model=MODEL,
+                    top_k=2,
+                )
+            )
+        else:
+            builders.append(
+                engine.query("corpus").esimilar(
+                    "emb", qvec, model=MODEL, top_k=K
+                )
+            )
+    return builders
+
+
+def _run_mode(qvecs, *, reliability: bool, injector: FaultInjector | None):
+    """Serve the stream serially; return per-query outcome + timings."""
+    config = get_config()
+    saved = (config.retry_max_attempts, config.watchdog_stall_s)
+    if not reliability:
+        configure(retry_max_attempts=1, watchdog_stall_s=0.0)
+    try:
+        engine = _fresh_engine()  # reads retry/watchdog config at creation
+        service = QueryService(engine, coalesce=False)
+        if injector is not None:
+            install_injector(injector)
+        tables: list = [None] * len(qvecs)
+        latencies: list[float] = []
+        failed = 0
+        with service.session("fig-chaos") as session:
+            warm = _builders(engine, qvecs[:WARMUP])
+            for builder in warm:  # build shared stores off-clock
+                session.execute(builder)
+            builders = _builders(engine, qvecs)
+            start = time.perf_counter()
+            for i, builder in enumerate(builders):
+                t0 = time.perf_counter()
+                try:
+                    tables[i] = session.execute(builder)
+                except Exception:  # noqa: BLE001 - availability accounting
+                    failed += 1
+                latencies.append(time.perf_counter() - t0)
+            wall = time.perf_counter() - start
+        return tables, latencies, failed, wall, service
+    finally:
+        clear_injector()
+        configure(retry_max_attempts=saved[0], watchdog_stall_s=saved[1])
+
+
+def test_fig_chaos_report(benchmark):
+    qvecs = unit_vectors(N_QUERIES, DIM, stream="fig_chaos/queries")
+
+    # Bit-identical reference: bare engine, no service, no faults.
+    engine = _fresh_engine()
+    reference = [b.execute() for b in _builders(engine, qvecs)]
+
+    report = FigureReport(
+        "fig_chaos",
+        f"Reliability layer: idle overhead and availability under a "
+        f"{STORM_RATE:.0%} seeded transient-fault storm "
+        f"({N_ROWS}x{DIM} corpus, top-{K}, serial driver)",
+        (
+            "mode",
+            "seconds",
+            "queries",
+            "ok",
+            "failed",
+            "injected",
+            "retries",
+            "availability",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+        ),
+    )
+
+    p50_by_mode: dict[str, float] = {}
+    for mode in ("off", "idle", "storm"):
+        injector = None
+        if mode == "storm":
+            injector = FaultInjector(
+                STORM_RATE,
+                seed=STORM_SEED,
+                sites=STORM_SITES,
+                kinds=("transient",),
+            )
+        tables, latencies, failed, wall, service = _run_mode(
+            qvecs, reliability=(mode != "off"), injector=injector
+        )
+        ok = sum(1 for t in tables if t is not None)
+        availability = ok / len(qvecs)
+        injected = (
+            0 if injector is None else injector.stats.snapshot()["injected"]
+        )
+        # Policy-level counter: covers both dispatch-level re-execution
+        # and morsel-level retries inside the engine.
+        retries = service.health().retries["retries"]
+        pct = latency_percentiles(latencies)
+        p50_by_mode[mode] = pct["p50"]
+        report.add(
+            mode,
+            Seconds(wall, latencies),
+            len(qvecs),
+            ok,
+            failed,
+            injected,
+            retries,
+            availability,
+            pct["p50"] * 1e3,
+            pct["p95"] * 1e3,
+            pct["p99"] * 1e3,
+        )
+
+        if mode == "storm":
+            assert availability == 1.0, (
+                f"storm dropped {failed} of {len(qvecs)} queries"
+            )
+            for i, table in enumerate(tables):
+                ref = reference[i]
+                assert ref.schema.names == table.schema.names
+                for name in ref.schema.names:
+                    assert np.array_equal(ref.array(name), table.array(name)), (
+                        f"query {i}: column {name!r} differs under faults"
+                    )
+            if not SMOKE:
+                assert injected > 0, "storm never fired"
+                assert retries >= injected - failed  # recovery did the work
+        else:
+            assert failed == 0
+
+    report.note(
+        "off = retries and watchdog disabled; idle = reliability layer "
+        "armed, no faults; storm = seeded 1% transient faults into "
+        "kernel/worker/dispatch sites. Every storm result asserted "
+        "bit-identical to fault-free serial execution."
+    )
+    report.emit()
+
+    if not SMOKE:
+        limit = (
+            p50_by_mode["off"] * IDLE_OVERHEAD_FACTOR + IDLE_OVERHEAD_SLACK_S
+        )
+        assert p50_by_mode["idle"] <= limit, (
+            f"idle reliability overhead too high: p50 "
+            f"{p50_by_mode['idle'] * 1e3:.3f} ms vs disabled "
+            f"{p50_by_mode['off'] * 1e3:.3f} ms"
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -31,6 +31,8 @@ from ..embedding.registry import ModelRegistry, default_registry
 from ..engine import ExecutionEngine
 from ..errors import PlanError
 from ..index.base import VectorIndex
+from ..reliability.breaker import breakers
+from ..reliability.faults import maybe_inject
 from ..relational.catalog import Catalog
 from ..relational.column import Column
 from ..relational.expressions import validate_boolean
@@ -141,6 +143,7 @@ class ExecutionContext:
             with self.store_lock:
                 store = self.quant_stores.get(full_key)
             if store is None or getattr(store, "source_token", None) != token:
+                maybe_inject("quant.build")
                 store = QuantizedRelation.build(vectors, method)
                 store.source_token = token
                 with self.store_lock:
@@ -207,12 +210,37 @@ def _quantized_scan_decision(
     return decision, store_key
 
 
+#: Breaker fallback chain for quantized scan precisions.  Each step down
+#: is strictly more exact, ending on the fp32 scan — so routing around a
+#: failing access path never weakens results, only speed.
+_PRECISION_FALLBACK = {"pq": "int8", "int8": "fp32"}
+
+
+def _breaker_gate(store_key: tuple | None, precision: str) -> str:
+    """Walk ``precision`` down the fallback chain past open breakers.
+
+    ``store_key`` is the ``(table, column, model)`` access-path identity;
+    uncacheable sources (``None``) carry no breaker state and keep the
+    cost model's choice.
+    """
+    if store_key is None:
+        return precision
+    registry = breakers()
+    while precision in ("pq", "int8"):
+        if registry.allow((*store_key, precision)):
+            return precision
+        precision = _PRECISION_FALLBACK[precision]
+    return precision
+
+
 @dataclass
 class ExecutionReport:
     """Side-channel describing what the physical layer actually did."""
 
     strategies: list[str] = field(default_factory=list)
     join_stats: list = field(default_factory=list)
+    #: Access paths the breaker layer routed around while executing.
+    fallbacks: list[str] = field(default_factory=list)
 
 
 def execute(
@@ -277,26 +305,42 @@ def _execute_eselect(
     decision, store_key = _quantized_scan_decision(
         ctx, node.child, node.column, node.model_name, 1, vectors, k
     )
-    if decision.precision in ("int8", "pq"):
-        relation = vectors
-        if store_key is not None:
-            relation = ctx.quant_store_for(
-                store_key, vectors, decision.precision
+    precision = _breaker_gate(store_key, decision.precision)
+    result = None
+    while precision in ("int8", "pq"):
+        breaker_key = None if store_key is None else (*store_key, precision)
+        try:
+            relation = vectors
+            if store_key is not None:
+                relation = ctx.quant_store_for(store_key, vectors, precision)
+            result = quantized_eselect(
+                relation, query, node.condition, method=precision
             )
-        result = quantized_eselect(
-            relation, query, node.condition, method=decision.precision
-        )
-    elif store_key is not None:
-        # Scan sources share one normalize-once matrix across queries and
-        # sessions; eselect's exact-rescore contract makes the shared and
-        # inline-normalized paths bit-identical.
-        normalized = ctx.normalized_matrix_for(store_key, vectors)
-        result = eselect(
-            normalized, query, node.condition, model=model,
-            assume_normalized=True,
-        )
-    else:
-        result = eselect(vectors, query, node.condition, model=model)
+        except Exception:
+            # Store build or compressed scan failed: feed the breaker and
+            # fall down the chain toward the exact fp32 scan.
+            if breaker_key is not None:
+                breakers().record_failure(breaker_key)
+                report.fallbacks.append("/".join(map(str, breaker_key)))
+            precision = _breaker_gate(
+                store_key, _PRECISION_FALLBACK[precision]
+            )
+            continue
+        if breaker_key is not None:
+            breakers().record_success(breaker_key)
+        break
+    if result is None:
+        if store_key is not None:
+            # Scan sources share one normalize-once matrix across queries
+            # and sessions; eselect's exact-rescore contract makes the
+            # shared and inline-normalized paths bit-identical.
+            normalized = ctx.normalized_matrix_for(store_key, vectors)
+            result = eselect(
+                normalized, query, node.condition, model=model,
+                assume_normalized=True,
+            )
+        else:
+            result = eselect(vectors, query, node.condition, model=model)
     report.strategies.append(result.stats.strategy)
     report.join_stats.append(result.stats)
     out = table.take(result.ids)
@@ -353,6 +397,15 @@ def _index_for_right(
     return None
 
 
+def _right_table_name(node: LogicalNode) -> str | None:
+    """Base-table identity of an index-eligible right input, if any."""
+    if isinstance(node, ScanNode):
+        return node.table_name
+    if isinstance(node, FilterNode) and isinstance(node.child, ScanNode):
+        return node.child.table_name
+    return None
+
+
 def _execute_ejoin(
     node: EJoinNode, ctx: ExecutionContext, report: ExecutionReport
 ) -> Table:
@@ -361,6 +414,12 @@ def _execute_ejoin(
 
     # --- index access path -------------------------------------------------
     indexed = _index_for_right(node.right, node.right_column, ctx)
+    index_table = _right_table_name(node.right)
+    index_breaker_key = (
+        None
+        if index_table is None
+        else (index_table, node.right_column, node.model_name, "index")
+    )
     strategy = node.strategy_hint
     if strategy is None and indexed is not None:
         index, bitmap, base = indexed
@@ -370,6 +429,12 @@ def _execute_ejoin(
             if isinstance(node.condition, TopKCondition)
             else DEFAULT_PROBE_K
         )
+        # A tripped index breaker feeds the cost model as "no index":
+        # its cost is infinite, so the chooser lands on the exact scan.
+        index_open = (
+            index_breaker_key is not None
+            and not breakers().allow(index_breaker_key)
+        )
         decision = choose_access_path(
             left.num_rows,
             len(index),
@@ -377,6 +442,7 @@ def _execute_ejoin(
             index.dim,
             selectivity=sel,
             params=ctx.cost_params,
+            index_available=not index_open,
         )
         strategy = "index" if decision.choice == "index" else "tensor"
 
@@ -388,13 +454,25 @@ def _execute_ejoin(
             )
         index, bitmap, base = indexed
         left_vectors = _embed_column(left, node.left_column, node.model_name, ctx)
-        result = index_join(
-            left_vectors, index, node.condition, allowed=bitmap,
-            engine=ctx.engine,
-        )
-        report.strategies.append(result.stats.strategy)
-        report.join_stats.append(result.stats)
-        return result.materialize(left, base)
+        try:
+            result = index_join(
+                left_vectors, index, node.condition, allowed=bitmap,
+                engine=ctx.engine,
+            )
+        except Exception:
+            # Probe failure: trip the breaker toward open and fall back
+            # to the exact scan path below (trading speed, not accuracy).
+            if index_breaker_key is None:
+                raise
+            breakers().record_failure(index_breaker_key)
+            report.fallbacks.append("/".join(map(str, index_breaker_key)))
+            strategy = "tensor"
+        else:
+            if index_breaker_key is not None:
+                breakers().record_success(index_breaker_key)
+            report.strategies.append(result.stats.strategy)
+            report.join_stats.append(result.stats)
+            return result.materialize(left, base)
 
     # --- scan access path ----------------------------------------------------
     right = _execute(node.right, ctx, report)
@@ -411,12 +489,14 @@ def _execute_ejoin(
         left_vectors = _embed_column(left, node.left_column, node.model_name, ctx)
         right_vectors = _embed_column(right, node.right_column, node.model_name, ctx)
         scan_strategy = strategy or "tensor"
-        right_input = right_vectors
+        result = None
         if scan_strategy == "tensor":
             # The REPRO_PRECISION knob may substitute a reduced-precision
             # scan; quantized paths are additionally gated on the
             # configured accuracy floor and modelled cost (including the
-            # fit/encode build unless a cached store already amortized it).
+            # fit/encode build unless a cached store already amortized it)
+            # — and on the access path's circuit breaker, which walks the
+            # chain pq -> int8 -> fp32 past open or failing paths.
             k = (
                 node.condition.k
                 if isinstance(node.condition, TopKCondition)
@@ -431,21 +511,47 @@ def _execute_ejoin(
                 right_vectors,
                 k,
             )
-            if decision.precision in ("int8", "pq"):
-                scan_strategy = f"tensor-{decision.precision}"
-                if store_key is not None:
-                    right_input = ctx.quant_store_for(
-                        store_key, right_vectors, decision.precision
+            precision = _breaker_gate(store_key, decision.precision)
+            while precision in ("int8", "pq"):
+                breaker_key = (
+                    None if store_key is None else (*store_key, precision)
+                )
+                try:
+                    right_input = right_vectors
+                    if store_key is not None:
+                        right_input = ctx.quant_store_for(
+                            store_key, right_vectors, precision
+                        )
+                    result = ejoin(
+                        left_vectors,
+                        right_input,
+                        node.condition,
+                        strategy=f"tensor-{precision}",
+                        engine=ctx.engine,
                     )
-            elif get_config().default_precision == "fp16":
+                except Exception:
+                    if breaker_key is not None:
+                        breakers().record_failure(breaker_key)
+                        report.fallbacks.append(
+                            "/".join(map(str, breaker_key))
+                        )
+                    precision = _breaker_gate(
+                        store_key, _PRECISION_FALLBACK[precision]
+                    )
+                    continue
+                if breaker_key is not None:
+                    breakers().record_success(breaker_key)
+                break
+            if result is None and get_config().default_precision == "fp16":
                 scan_strategy = "tensor-fp16"
-        result = ejoin(
-            left_vectors,
-            right_input,
-            node.condition,
-            strategy=scan_strategy,
-            engine=ctx.engine,
-        )
+        if result is None:
+            result = ejoin(
+                left_vectors,
+                right_vectors,
+                node.condition,
+                strategy=scan_strategy,
+                engine=ctx.engine,
+            )
     report.strategies.append(result.stats.strategy)
     report.join_stats.append(result.stats)
     return result.materialize(left, right)

@@ -91,6 +91,41 @@ class ReproConfig:
         qos_default_min_recall: Recall floor applied to QoS submissions
             that do not state one.  ``None`` (default) means queries
             without an explicit floor are never degraded.
+        fault_rate: Probability that any one fault-injection site hit
+            raises/injects a fault (chaos testing).  ``0.0`` (default)
+            disables injection entirely — the injector is never even
+            installed, so production paths pay one ``None`` check.
+        fault_seed: Seed for the deterministic injection schedule.
+            ``None`` derives a stream seed from the global ``seed``, so
+            chaos runs are reproducible by default.
+        fault_sites: Comma-separated site names injection is limited to
+            (e.g. ``"engine.worker,kernel.gemm"``); empty means every
+            site.
+        fault_kinds: Comma-separated fault kinds to draw from:
+            ``transient``, ``permanent``, ``latency``, ``hang``,
+            ``kill``.
+        fault_latency_ms: Injected latency-spike duration.
+        fault_hang_s: How long an injected ``hang`` blocks its worker
+            (the watchdog is expected to route around it well before
+            this elapses).
+        fault_max: Hard cap on total injected faults per process;
+            ``None`` means unbounded.
+        retry_max_attempts: Attempts (1 initial + retries) a transient
+            failure is given at morsel/dispatch granularity.
+        retry_base_ms: Base backoff before the first retry; subsequent
+            waits use decorrelated jitter from this base.
+        retry_cap_ms: Upper bound on any single backoff sleep.
+        retry_budget: Total retries one scheduler run (resp. one service
+            dispatch) may spend across all its morsels — bounds the
+            worst-case added latency under a fault storm.
+        breaker_threshold: Consecutive access-path failures that trip a
+            circuit breaker open.
+        breaker_cooldown_s: Seconds an open breaker waits before
+            admitting one half-open trial.
+        watchdog_stall_s: Heartbeat age after which the engine watchdog
+            declares a worker stuck, re-enqueues its in-flight morsel,
+            and respawns a replacement thread.  ``0`` disables the
+            watchdog (the scheduler then blocks on plain joins).
     """
 
     seed: int = DEFAULT_SEED
@@ -119,6 +154,20 @@ class ReproConfig:
     qos_window_target_batch: int = 8
     qos_cache_tinylfu: bool = False
     qos_default_min_recall: float | None = None
+    fault_rate: float = 0.0
+    fault_seed: int | None = None
+    fault_sites: str = ""
+    fault_kinds: str = "transient"
+    fault_latency_ms: float = 1.0
+    fault_hang_s: float = 30.0
+    fault_max: int | None = None
+    retry_max_attempts: int = 3
+    retry_base_ms: float = 1.0
+    retry_cap_ms: float = 50.0
+    retry_budget: int = 16
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 30.0
+    watchdog_stall_s: float = 5.0
     extra: dict = field(default_factory=dict)
 
     def stream_seed(self, name: str) -> int:
@@ -243,6 +292,46 @@ def _config_from_env() -> ReproConfig:
     tinylfu = os.environ.get("REPRO_QOS_CACHE_TINYLFU", "")
     if tinylfu:
         config.qos_cache_tinylfu = tinylfu != "0"
+    # Reliability knobs: fault injection (chaos testing), retry/backoff,
+    # circuit breakers, and the engine worker watchdog.
+    fault_rate = _env_number("REPRO_FAULT_RATE", float)
+    if fault_rate is not None:
+        config.fault_rate = min(1.0, max(0.0, fault_rate))
+    fault_seed = _env_number("REPRO_FAULT_SEED", int)
+    if fault_seed is not None:
+        config.fault_seed = fault_seed
+    config.fault_sites = os.environ.get("REPRO_FAULT_SITES", config.fault_sites)
+    config.fault_kinds = os.environ.get("REPRO_FAULT_KINDS", config.fault_kinds)
+    fault_latency = _env_number("REPRO_FAULT_LATENCY_MS", float)
+    if fault_latency is not None:
+        config.fault_latency_ms = max(0.0, fault_latency)
+    fault_hang = _env_number("REPRO_FAULT_HANG_S", float)
+    if fault_hang is not None:
+        config.fault_hang_s = max(0.0, fault_hang)
+    fault_max = _env_number("REPRO_FAULT_MAX", int)
+    if fault_max is not None:
+        config.fault_max = max(0, fault_max)
+    retry_attempts = _env_number("REPRO_RETRY_MAX_ATTEMPTS", int)
+    if retry_attempts is not None:
+        config.retry_max_attempts = max(1, retry_attempts)
+    retry_base = _env_number("REPRO_RETRY_BASE_MS", float)
+    if retry_base is not None:
+        config.retry_base_ms = max(0.0, retry_base)
+    retry_cap = _env_number("REPRO_RETRY_CAP_MS", float)
+    if retry_cap is not None:
+        config.retry_cap_ms = max(0.0, retry_cap)
+    retry_budget = _env_number("REPRO_RETRY_BUDGET", int)
+    if retry_budget is not None:
+        config.retry_budget = max(0, retry_budget)
+    breaker_threshold = _env_number("REPRO_BREAKER_THRESHOLD", int)
+    if breaker_threshold is not None:
+        config.breaker_threshold = max(1, breaker_threshold)
+    breaker_cooldown = _env_number("REPRO_BREAKER_COOLDOWN_S", float)
+    if breaker_cooldown is not None:
+        config.breaker_cooldown_s = max(0.0, breaker_cooldown)
+    watchdog_stall = _env_number("REPRO_WATCHDOG_STALL_S", float)
+    if watchdog_stall is not None:
+        config.watchdog_stall_s = max(0.0, watchdog_stall)
     return config
 
 

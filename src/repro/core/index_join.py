@@ -22,6 +22,7 @@ import numpy as np
 from ..embedding.base import EmbeddingModel
 from ..errors import DimensionalityError, JoinError
 from ..index.base import VectorIndex
+from ..reliability.faults import maybe_inject
 from ..vector.norms import normalize_rows
 from .conditions import (
     JoinCondition,
@@ -58,6 +59,9 @@ def _probe_rows(
     hi: int,
 ) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
     """Probe the index for left rows ``[lo, hi)`` (one morsel)."""
+    # Fault site sits before any probe: a retried morsel re-probes the
+    # (read-only) index from scratch and lands on identical ids/scores.
+    maybe_inject("index.probe")
     out_l: list[np.ndarray] = []
     out_r: list[np.ndarray] = []
     out_s: list[np.ndarray] = []

@@ -17,6 +17,9 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from ..config import cpu_count, get_config
+from ..reliability.retry import RetryBudget, RetryPolicy
+from ..reliability.runtime import current_deadline, current_retry_budget
+from ..reliability.watchdog import WatchdogPolicy
 from .adaptive import BatchPolicy
 from .morsel import Morsel, make_morsels
 from .scheduler import SchedulerStats, WorkStealingScheduler
@@ -46,6 +49,11 @@ class EngineStats:
     runs: int = 0
     morsels_dispatched: int = 0
     steals: int = 0
+    retries: int = 0
+    watchdog_stalls: int = 0
+    worker_deaths: int = 0
+    worker_respawns: int = 0
+    reenqueued_tasks: int = 0
     #: query/group tag -> morsels dispatched under that tag.
     by_tag: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
@@ -59,6 +67,11 @@ class EngineStats:
             self.runs += 1
             self.morsels_dispatched += run_stats.n_tasks
             self.steals += run_stats.steals
+            self.retries += run_stats.retries
+            self.watchdog_stalls += run_stats.watchdog_stalls
+            self.worker_deaths += run_stats.worker_deaths
+            self.worker_respawns += run_stats.worker_respawns
+            self.reenqueued_tasks += run_stats.reenqueued_tasks
             if tag is not None:
                 self.by_tag[tag] = self.by_tag.get(tag, 0) + run_stats.n_tasks
                 while (
@@ -111,6 +124,13 @@ class ExecutionEngine:
             config.work_stealing if work_stealing is None else work_stealing
         )
         self.stats = EngineStats()
+        #: Engine-wide retry parameters; bound per run with the ambient
+        #: deadline and a fresh per-query budget.  The policy's stats
+        #: object is shared by every bound view, so retry counters
+        #: accumulate across the engine's lifetime.
+        self.retry_policy = RetryPolicy.from_config()
+        self.watchdog = WatchdogPolicy.from_config()
+        self._retry_budget_n = config.retry_budget
         #: Attribution tag stamped on this engine's scheduler runs; set
         #: via :meth:`with_tag` so concurrent queries sharing one engine
         #: each carry their own tag.
@@ -168,7 +188,18 @@ class ExecutionEngine:
         scheduler = WorkStealingScheduler(
             self.n_threads, work_stealing=self.work_stealing
         )
-        results = scheduler.run(tasks, stats=run_stats)
+        # Bind the retry policy to this run: the ambient deadline and
+        # per-query budget (set by the service's QoS dispatch on this
+        # thread) bound backoff; a standalone run gets its own budget.
+        budget = current_retry_budget()
+        if budget is None:
+            budget = RetryBudget(self._retry_budget_n)
+        bound = self.retry_policy.bind(
+            deadline=current_deadline(), budget=budget
+        )
+        results = scheduler.run(
+            tasks, stats=run_stats, retry=bound, watchdog=self.watchdog
+        )
         self.stats.record(run_stats, tag=self.tag)
         return results
 

@@ -71,6 +71,46 @@ class WorkloadError(ReproError):
     """A synthetic workload generator received invalid parameters."""
 
 
+class TransientError(ReproError):
+    """A failure that is expected to succeed on re-execution.
+
+    The reliability layer's retry machinery only ever retries exceptions
+    deriving from this class — anything else is treated as permanent and
+    propagates immediately.  Morsels are pure functions over row ranges,
+    so re-executing one after a transient failure is bit-safe.
+    """
+
+
+class PermanentError(ReproError):
+    """A failure that will not be fixed by retrying.
+
+    Retry policies re-raise these immediately; circuit breakers count
+    them toward tripping an access path out of planning.
+    """
+
+
+class TransientFault(TransientError):
+    """A deterministic, injected transient fault (chaos testing)."""
+
+
+class PermanentFault(PermanentError):
+    """A deterministic, injected permanent fault (chaos testing)."""
+
+
+class WorkerKilledFault(ReproError):
+    """An injected abrupt engine-worker death (chaos testing).
+
+    Deliberately *not* transient: the worker thread that draws this
+    fault exits without completing or releasing its claimed morsel, so
+    recovery is the watchdog's job (re-enqueue + respawn), never the
+    retry wrapper's.
+    """
+
+
+class CircuitOpenError(PermanentError):
+    """An access path was requested while its circuit breaker is open."""
+
+
 class ServiceError(ReproError):
     """The concurrent query service was misused or failed internally."""
 

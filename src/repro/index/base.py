@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import DimensionalityError, IndexNotBuiltError
+from ..reliability.faults import maybe_inject
 from ..vector.norms import normalize_rows
 
 
@@ -130,6 +131,7 @@ class VectorIndex(abc.ABC):
         Queries are normalized once as a batch (one vectorized pass)
         rather than per probe inside :meth:`search`.
         """
+        maybe_inject("index.probe")
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim != 2 or queries.shape[1] != self.dim:
             raise DimensionalityError(

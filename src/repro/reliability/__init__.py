@@ -1,0 +1,55 @@
+"""Reliability layer: fault injection, retries, breakers, watchdog.
+
+See ``docs/RELIABILITY.md`` for the fault model and the
+exactness-under-retry argument.  The short version: morsels, kernel
+calls, and store builds are pure, so every recovery mechanism here
+(retry, re-enqueue, plan fallback to the exact path) preserves
+bit-identical results — the layer trades latency for availability,
+never accuracy.
+"""
+
+from .breaker import (
+    BreakerRegistry,
+    CircuitBreaker,
+    breakers,
+    reset_breakers,
+)
+from .faults import (
+    KINDS,
+    SITES,
+    FaultInjector,
+    active_injector,
+    clear_injector,
+    install_injector,
+    maybe_inject,
+    reload_from_config,
+)
+from .health import ServiceHealth
+from .retry import BoundRetry, RetryBudget, RetryPolicy, RetryStats
+from .runtime import current_deadline, current_retry_budget, deadline_scope
+from .watchdog import WatchdogEvents, WatchdogPolicy
+
+__all__ = [
+    "KINDS",
+    "SITES",
+    "BoundRetry",
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "FaultInjector",
+    "RetryBudget",
+    "RetryPolicy",
+    "RetryStats",
+    "ServiceHealth",
+    "WatchdogEvents",
+    "WatchdogPolicy",
+    "active_injector",
+    "breakers",
+    "clear_injector",
+    "current_deadline",
+    "current_retry_budget",
+    "deadline_scope",
+    "install_injector",
+    "maybe_inject",
+    "reload_from_config",
+    "reset_breakers",
+]

@@ -1,0 +1,52 @@
+"""Service health snapshot: one structure for every reliability signal.
+
+:meth:`~repro.service.service.QueryService.health` assembles this from
+the live components — breaker registry, engine retry stats, scheduler
+watchdog counters, the active fault injector (if any), and the QoS
+shed/degrade counters — so operators and the bench harness read one
+coherent picture instead of five scattered snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ServiceHealth:
+    """Point-in-time reliability state of a running service.
+
+    Attributes:
+        status: ``"ok"`` when no breaker is open and no worker died;
+            ``"degraded"`` otherwise.  A degraded service still serves —
+            the flag exists so load balancers and dashboards can see
+            that some access paths are routing around failures.
+        breakers: per-access-path breaker states (``key -> snapshot``).
+        open_breakers: number of breakers not in the closed state.
+        retries: engine retry counters (attempts/retries/giveups/...).
+        watchdog: watchdog event counters (stalls/deaths/respawns/...).
+        faults: active fault-injector stats (empty when disarmed).
+        qos: shed/degrade/deadline counters from the QoS layer.
+        service: completed/failed/shed counters from the service proper.
+    """
+
+    status: str = "ok"
+    breakers: dict = field(default_factory=dict)
+    open_breakers: int = 0
+    retries: dict = field(default_factory=dict)
+    watchdog: dict = field(default_factory=dict)
+    faults: dict = field(default_factory=dict)
+    qos: dict = field(default_factory=dict)
+    service: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "breakers": dict(self.breakers),
+            "open_breakers": self.open_breakers,
+            "retries": dict(self.retries),
+            "watchdog": dict(self.watchdog),
+            "faults": dict(self.faults),
+            "qos": dict(self.qos),
+            "service": dict(self.service),
+        }

@@ -1,0 +1,49 @@
+"""Ambient per-thread reliability context.
+
+The QoS layer knows a query's deadline; the engine's retry wrapper needs
+it three layers down, inside a morsel re-execution decision.  Threading
+a deadline parameter through the planner, operators, and kernels would
+contaminate every signature for one scalar — so the service instead
+opens a :func:`deadline_scope` around execution and the engine reads
+:func:`current_deadline` when binding its retry policy.  This works
+because the service executes queries on the submitting (caller) thread:
+the scope set at dispatch is visible to everything the query runs.
+
+Engine worker threads do *not* inherit the scope — they don't need to:
+the deadline is captured once, at bind time, on the dispatching thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+_local = threading.local()
+
+
+@contextmanager
+def deadline_scope(deadline: float | None, *, retry_budget=None):
+    """Set the ambient absolute deadline (perf_counter clock) — and
+    optionally a per-query :class:`~repro.reliability.retry.RetryBudget`
+    shared by every engine run the query performs — for this thread for
+    the duration of the block.  ``None`` is a valid scope and masks any
+    outer deadline."""
+    prev = getattr(_local, "deadline", None)
+    prev_budget = getattr(_local, "retry_budget", None)
+    _local.deadline = deadline
+    _local.retry_budget = retry_budget
+    try:
+        yield
+    finally:
+        _local.deadline = prev
+        _local.retry_budget = prev_budget
+
+
+def current_deadline() -> float | None:
+    """The ambient deadline of the calling thread, if any."""
+    return getattr(_local, "deadline", None)
+
+
+def current_retry_budget():
+    """The ambient per-query retry budget of the calling thread, if any."""
+    return getattr(_local, "retry_budget", None)

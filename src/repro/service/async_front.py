@@ -294,7 +294,15 @@ class AsyncQueryService:
                 tag=pending.tag,
                 timeout_s=pending.timeout_s,
             )
-        except BaseException as exc:
+        except (KeyboardInterrupt, SystemExit) as exc:
+            # The caller's future still resolves (a clean service error),
+            # but the interrupt itself propagates and takes the dispatch
+            # worker down — it belongs to the interpreter, not the query.
+            with self._cond:
+                self.stats.failed += 1
+            _resolve(pending, error=ServiceError("execution interrupted"))
+            raise exc
+        except Exception as exc:
             with self._cond:
                 self.stats.failed += 1
             _resolve(pending, error=exc)

@@ -41,6 +41,11 @@ from ..core.quantized_join import quantized_eselect
 from ..errors import DeadlineExceededError, ServiceError, SessionClosedError
 from ..query.builder import Engine, QueryBuilder
 from ..relational.table import Table
+from ..reliability.breaker import breakers
+from ..reliability.faults import active_injector, maybe_inject
+from ..reliability.health import ServiceHealth
+from ..reliability.retry import RetryBudget
+from ..reliability.runtime import current_retry_budget, deadline_scope
 from ..vector.norms import normalize_vector
 from .admission import AdmissionController
 from .coalescer import (
@@ -100,7 +105,9 @@ class SessionHandle:
             return self.service.submit(
                 query, tag=f"{self.name}/q{seq}", timeout_s=timeout_s
             )
-        except BaseException:
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
             with self._lock:
                 self.errors += 1
             raise
@@ -138,7 +145,9 @@ class SessionHandle:
                 tag=f"{self.name}/q{seq}",
                 timeout_s=timeout_s,
             )
-        except BaseException:
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
             with self._lock:
                 self.errors += 1
             raise
@@ -391,7 +400,15 @@ class QueryService:
         with self._stats_lock:
             self.stats.submitted += 1
         try:
-            response = self._run_admitted(plan, qos, tag, start)
+            # The ambient scope carries the deadline and a per-query retry
+            # budget down into every engine run this query performs, so
+            # morsel retries are deadline-aware and budget-capped without
+            # threading QoS through operator signatures.
+            with deadline_scope(
+                qos.deadline,
+                retry_budget=RetryBudget(config.retry_budget),
+            ):
+                response = self._run_admitted(plan, qos, tag, start)
             with self._stats_lock:
                 self.stats.completed += 1
                 if response.degraded:
@@ -401,7 +418,9 @@ class QueryService:
                 elif response.deadline_met is False:
                     self.qos.deadline_missed += 1
             return response
-        except BaseException:
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
             with self._stats_lock:
                 self.stats.failed += 1
             raise
@@ -456,7 +475,12 @@ class QueryService:
                         f"{remaining:.3g}s left before the deadline"
                     )
                 exec_start = time.perf_counter()
-                table = self._execute_degraded(optimized, precision, tag)
+                retry = self.engine.executor.retry_policy.bind(
+                    deadline=qos.deadline, budget=current_retry_budget()
+                )
+                table = retry.call(
+                    lambda: self._execute_degraded(optimized, precision, tag)
+                )
                 self.qos_tracker.observe(
                     "degraded", time.perf_counter() - exec_start
                 )
@@ -485,14 +509,20 @@ class QueryService:
             return self._respond(slot.result, qos, start)
         try:
             exec_start = time.perf_counter()
-            result = self._execute(optimized, tag)
+            result = self._dispatch(optimized, qos, tag)
             exec_seconds = time.perf_counter() - exec_start
             self.qos_tracker.observe("full", exec_seconds)
             # The seconds it took to compute weigh this entry in TinyLFU
             # cost-aware admission duels.
             self.results.store(fkey, versions, params, result, cost=exec_seconds)
             slot.result = result
-        except BaseException as exc:
+        except (KeyboardInterrupt, SystemExit):
+            # Waiters still get a resolved future — a clean service error,
+            # not the interpreter-level interrupt, which belongs to the
+            # thread that received it.
+            slot.error = ServiceError("execution interrupted")
+            raise
+        except Exception as exc:
             slot.error = exc
             raise
         finally:
@@ -500,6 +530,26 @@ class QueryService:
                 del self._inflight_results[sf_key]
             slot.done.set()
         return self._respond(result, qos, start)
+
+    def _dispatch(self, optimized, qos: QoSParams, tag: str) -> Table:
+        """Execute a planned query under the service-level retry wrapper.
+
+        Engine runs already retry at morsel granularity; this outer layer
+        covers transient faults raised *outside* a scheduler run — kernel
+        calls made inline on the dispatching thread, store builds, the
+        ``service.dispatch`` injection site itself.  Queries are pure, so
+        whole-query re-execution is as bit-safe as morsel re-execution;
+        the shared per-query budget (ambient scope) caps the total.
+        """
+
+        def attempt() -> Table:
+            maybe_inject("service.dispatch")
+            return self._execute(optimized, tag)
+
+        retry = self.engine.executor.retry_policy.bind(
+            deadline=qos.deadline, budget=current_retry_budget()
+        )
+        return retry.call(attempt)
 
     @staticmethod
     def _respond(
@@ -651,9 +701,56 @@ class QueryService:
             "runs": engine_stats.runs,
             "morsels_dispatched": engine_stats.morsels_dispatched,
             "steals": engine_stats.steals,
+            "retries": engine_stats.retries,
+            "watchdog_stalls": engine_stats.watchdog_stalls,
+            "worker_deaths": engine_stats.worker_deaths,
+            "worker_respawns": engine_stats.worker_respawns,
+            "reenqueued_tasks": engine_stats.reenqueued_tasks,
             "tagged_queries": len(engine_stats.by_tag),
         }
         return snapshot
+
+    def health(self) -> ServiceHealth:
+        """One coherent reliability snapshot of the running service.
+
+        ``status`` is ``"degraded"`` (not an error — the service still
+        serves) whenever any circuit breaker is routing around a failing
+        access path or the watchdog has observed worker loss; breaker,
+        retry, watchdog, fault-injection, QoS, and service counters come
+        along so the cause is visible in the same picture.
+        """
+        engine_stats = self.engine.executor.stats
+        registry = breakers()
+        open_breakers = registry.open_count()
+        watchdog = {
+            "stalls": engine_stats.watchdog_stalls,
+            "worker_deaths": engine_stats.worker_deaths,
+            "respawns": engine_stats.worker_respawns,
+            "reenqueued_tasks": engine_stats.reenqueued_tasks,
+        }
+        injector = active_injector()
+        with self._stats_lock:
+            service = {
+                "submitted": self.stats.submitted,
+                "completed": self.stats.completed,
+                "failed": self.stats.failed,
+            }
+            qos = self.qos.snapshot()
+        status = (
+            "ok"
+            if open_breakers == 0 and engine_stats.worker_deaths == 0
+            else "degraded"
+        )
+        return ServiceHealth(
+            status=status,
+            breakers=registry.snapshot(),
+            open_breakers=open_breakers,
+            retries=self.engine.executor.retry_policy.stats.snapshot(),
+            watchdog=watchdog,
+            faults=injector.stats.snapshot() if injector is not None else {},
+            qos=qos,
+            service=service,
+        )
 
     def shutdown(
         self, *, drain: bool = True, timeout_s: float | None = None

@@ -22,6 +22,7 @@ import math
 import numpy as np
 
 from ..errors import DimensionalityError
+from ..reliability.faults import maybe_inject
 from .norms import ZERO_NORM_EPS
 
 
@@ -160,6 +161,7 @@ def stable_dot_scores(rows: np.ndarray, vec: np.ndarray) -> np.ndarray:
     or blocked.  O(len(rows) * d) — intended for the sparse set of rows an
     approximate prescreen already selected, not for full scans.
     """
+    maybe_inject("kernel.rescore")
     rows = np.asarray(rows)
     vec = np.asarray(vec)
     if rows.ndim != 2 or vec.ndim != 1 or rows.shape[1] != vec.shape[0]:
@@ -182,5 +184,11 @@ _MATRIX_KERNELS = {
 def cosine_matrix(
     left: np.ndarray, right: np.ndarray, *, kernel: Kernel = Kernel.GEMM
 ) -> np.ndarray:
-    """Dispatch an all-pairs cosine computation to the chosen kernel."""
+    """Dispatch an all-pairs cosine computation to the chosen kernel.
+
+    Chaos-testing injection site ``kernel.gemm``: the fault (if any)
+    fires *before* the BLAS call, so a retried invocation recomputes the
+    identical result from the unchanged operands.
+    """
+    maybe_inject("kernel.gemm")
     return _MATRIX_KERNELS[kernel](left, right)

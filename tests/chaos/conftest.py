@@ -1,0 +1,30 @@
+"""Fixtures for the chaos suite: clean reliability state per test.
+
+Every test here installs a process-wide fault injector and exercises the
+process-wide breaker registry, so each one starts and ends with both
+cleared — a leaked injector would poison whatever test runs next.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _chaos_utils import DIM
+from repro.reliability.breaker import reset_breakers
+from repro.reliability.faults import clear_injector
+from repro.workloads import unit_vectors
+
+
+@pytest.fixture(autouse=True)
+def _clean_reliability_state():
+    clear_injector()
+    reset_breakers()
+    yield
+    clear_injector()
+    reset_breakers()
+
+
+@pytest.fixture()
+def query_vectors() -> np.ndarray:
+    return unit_vectors(32, DIM, stream="chaos/queries")

@@ -1,0 +1,177 @@
+"""Scheduler self-healing: retries, kills, stalls, and error release.
+
+These tests use real (but tiny) sleeps only where a thread must actually
+hang — the watchdog cannot be exercised against a fake clock without
+faking the threads too.  Stall tolerances are kept at a few tens of
+milliseconds so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import TransientFault, WorkerKilledFault
+from repro.reliability.retry import RetryPolicy
+from repro.reliability.watchdog import WatchdogPolicy
+from repro.engine.scheduler import SchedulerStats, WorkStealingScheduler
+
+
+def make_retry(max_attempts=5):
+    # Zero backoff: unit tests never sleep for retry timing.
+    return RetryPolicy(max_attempts, 0.0, 0.0).bind()
+
+
+class FlakyTask:
+    """Task failing transiently on its first ``n`` executions."""
+
+    def __init__(self, value: int, n: int) -> None:
+        self.value = value
+        self.n = n
+        self._lock = threading.Lock()
+
+    def __call__(self) -> int:
+        with self._lock:
+            if self.n > 0:
+                self.n -= 1
+                raise TransientFault("flaky task")
+        return self.value
+
+
+class KillOnce:
+    """Task raising one WorkerKilledFault, then succeeding."""
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+        self._killed = False
+        self._lock = threading.Lock()
+
+    def __call__(self) -> int:
+        with self._lock:
+            if not self._killed:
+                self._killed = True
+                raise WorkerKilledFault("killed")
+        return self.value
+
+
+def test_transient_failures_retried_single_worker():
+    scheduler = WorkStealingScheduler(1)
+    stats = SchedulerStats()
+    tasks = [FlakyTask(i, 2) for i in range(4)]
+    results = scheduler.run(tasks, stats=stats, retry=make_retry())
+    assert results == [0, 1, 2, 3]
+    assert stats.retries == 8
+
+
+def test_transient_failures_retried_multi_worker():
+    scheduler = WorkStealingScheduler(4)
+    stats = SchedulerStats()
+    tasks = [FlakyTask(i, 1) for i in range(16)]
+    results = scheduler.run(tasks, stats=stats, retry=make_retry())
+    assert results == list(range(16))
+    assert stats.retries == 16
+
+
+def test_without_retry_transient_fault_propagates():
+    scheduler = WorkStealingScheduler(2)
+    with pytest.raises(TransientFault):
+        scheduler.run([FlakyTask(0, 1), lambda: 1])
+
+
+def test_first_error_propagates_with_traceback_and_releases_queue():
+    """A failing task can never deadlock run(); the original traceback
+    survives re-raising in the caller."""
+    scheduler = WorkStealingScheduler(2, work_stealing=False)
+    started = []
+
+    def boom():
+        started.append("boom")
+        raise ValueError("task exploded")
+
+    tasks = [boom] + [lambda i=i: i for i in range(63)]
+    with pytest.raises(ValueError, match="task exploded") as excinfo:
+        scheduler.run(tasks)
+    tb_functions = []
+    tb = excinfo.tb
+    while tb is not None:
+        tb_functions.append(tb.tb_frame.f_code.co_name)
+        tb = tb.tb_next
+    assert "boom" in tb_functions
+
+
+def test_killed_worker_recovered_by_final_sweep_without_watchdog():
+    """Watchdog off: a killed worker's task still completes via the
+    caller-thread sweep, so the batch never hangs or loses results."""
+    scheduler = WorkStealingScheduler(2, work_stealing=False)
+    stats = SchedulerStats()
+    tasks: list = [KillOnce(0)] + [lambda i=i: i for i in range(1, 8)]
+    results = scheduler.run(tasks, stats=stats)
+    assert results == list(range(8))
+
+
+def test_killed_worker_respawned_by_watchdog():
+    scheduler = WorkStealingScheduler(2, work_stealing=False)
+    stats = SchedulerStats()
+    watchdog = WatchdogPolicy(stall_s=0.05, max_respawns=4)
+    kill = KillOnce(0)
+    # Enough sibling work that the second worker is still busy when the
+    # watchdog notices the death (keeps `finish` from firing first).
+    tasks: list = [kill] + [
+        lambda i=i: (time.sleep(0.002), i)[1] for i in range(1, 40)
+    ]
+    results = scheduler.run(tasks, stats=stats, watchdog=watchdog)
+    assert results == list(range(40))
+    assert stats.worker_deaths >= 1
+
+
+def test_hung_worker_detected_and_task_reenqueued():
+    """A worker hanging mid-task is stalled out; its task re-runs
+    elsewhere and the batch completes bit-identically."""
+    scheduler = WorkStealingScheduler(2, work_stealing=False)
+    stats = SchedulerStats()
+    watchdog = WatchdogPolicy(stall_s=0.05, max_respawns=4)
+    release = threading.Event()
+    hung_runs = []
+
+    def hang_once():
+        hung_runs.append(threading.get_ident())
+        if len(hung_runs) == 1:
+            release.wait(5.0)  # far past the stall tolerance
+        return 0
+
+    tasks: list = [hang_once] + [
+        lambda i=i: (time.sleep(0.002), i)[1] for i in range(1, 40)
+    ]
+    try:
+        results = scheduler.run(tasks, stats=stats, watchdog=watchdog)
+    finally:
+        release.set()
+    assert results == list(range(40))
+    assert stats.watchdog_stalls >= 1
+    assert stats.reenqueued_tasks >= 1
+    assert len(hung_runs) >= 2  # re-executed after the stall
+
+
+def test_watchdog_disabled_policy_has_no_stall_detection():
+    policy = WatchdogPolicy(stall_s=0.0)
+    assert not policy.enabled
+    assert WatchdogPolicy(stall_s=5.0).enabled
+
+
+def test_healthy_run_unaffected_by_watchdog():
+    scheduler = WorkStealingScheduler(4)
+    stats = SchedulerStats()
+    watchdog = WatchdogPolicy(stall_s=5.0)
+    results = scheduler.run(
+        [lambda i=i: i * i for i in range(64)],
+        stats=stats,
+        retry=make_retry(),
+        watchdog=watchdog,
+    )
+    assert results == [i * i for i in range(64)]
+    assert stats.watchdog_stalls == 0
+    assert stats.worker_deaths == 0
+    assert stats.worker_respawns == 0
+    assert stats.retries == 0
