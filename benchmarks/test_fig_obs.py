@@ -1,0 +1,217 @@
+"""fig_obs: observability overhead — off vs sampled-out vs full tracing.
+
+The layer's headline promise is "always on, near-zero cost sampled out":
+every span site stays live in production code, and an unsampled query
+pays one thread-local read per site.  This scenario measures that claim
+directly, serving the same query stream at 1, 16, and 64 concurrent
+clients under three modes:
+
+* ``off``     — ``obs_enabled=False``: tracing entirely disabled;
+* ``sampled`` — tracing enabled at a rate that never fires (every
+  submission runs the sampled-*out* fast path, the production default);
+* ``full``    — ``obs_sample_rate=1.0``: every query builds a span tree.
+
+The non-smoke gate asserts the sampled-out p50 at one client stays
+within 3% of off (plus a small absolute slack against timer noise).
+Full tracing is *reported*, not gated — its cost is the price of a
+debugging session, not of production serving.
+
+The full-mode service also writes its exporter output next to the
+report: ``fig_obs_metrics.prom`` (Prometheus text exposition) and
+``fig_obs_traces.jsonl`` (the trace ring), so CI archives one real
+sample of each format.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro import Engine, QueryService
+from repro.bench import FigureReport, Seconds, latency_percentiles
+from repro.bench.harness import results_dir
+from repro.embedding import HashingEmbedder
+from repro.relational import Catalog, DataType, Field, Table
+from repro.relational.column import Column
+from repro.workloads import unit_vectors
+
+from _smoke import SMOKE, pick
+
+N_ROWS = pick(16_000, 1_000)
+DIM = pick(64, 16)
+#: Queries per (mode, clients) cell; divisible by every client count.
+N_QUERIES = pick(192, 12)
+WARMUP = pick(16, 4)
+K = 10
+MODEL = "obs-model"
+CLIENT_COUNTS = (1, 16, 64)
+MODES = ("off", "sampled", "full")
+#: Sampled-out p50 must stay within this factor of off (plus slack).
+SAMPLED_OVERHEAD_FACTOR = 1.03
+SAMPLED_OVERHEAD_SLACK_S = 0.0002
+
+
+def _fresh_engine() -> Engine:
+    catalog = Catalog()
+    catalog.register(
+        "corpus",
+        Table.from_columns(
+            [
+                Column(Field("id", DataType.INT64), np.arange(N_ROWS)),
+                Column(
+                    Field("emb", DataType.TENSOR, dim=DIM),
+                    unit_vectors(N_ROWS, DIM, stream="fig_obs/base"),
+                ),
+            ]
+        ),
+    )
+    engine = Engine(catalog)
+    engine.models.register(MODEL, HashingEmbedder(dim=DIM))
+    return engine
+
+
+def _service(mode: str, engine: Engine) -> QueryService:
+    obs = {
+        "off": dict(obs_enabled=False),
+        # Rate low enough that no submission ever samples in: every
+        # query runs the production fast path end to end.
+        "sampled": dict(obs_enabled=True, obs_sample_rate=1e-6),
+        "full": dict(obs_enabled=True, obs_sample_rate=1.0, obs_ring_size=64),
+    }[mode]
+    # The result cache would turn repeat traffic into dictionary hits;
+    # disable it so every query pays the full serving path being measured.
+    return QueryService(engine, result_cache_size=0, **obs)
+
+
+def _drive(service: QueryService, qvecs, n_clients: int):
+    """Serve ``qvecs`` across ``n_clients`` threads; per-query latencies."""
+    per_client = max(1, len(qvecs) // n_clients)
+    latencies = [[] for _ in range(n_clients)]
+    errors: list = []
+    barrier = threading.Barrier(n_clients)
+
+    def client(c: int) -> None:
+        try:
+            with service.session(f"fig-obs-c{c}") as session:
+                chunk = qvecs[c * per_client : (c + 1) * per_client]
+                barrier.wait()
+                for qvec in chunk:
+                    query = service.engine.query("corpus").esimilar(
+                        "emb", qvec, model=MODEL, top_k=K
+                    )
+                    t0 = time.perf_counter()
+                    session.execute(query)
+                    latencies[c].append(time.perf_counter() - t0)
+        except Exception as exc:  # noqa: BLE001 - surfaced by the caller
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(c,)) for c in range(n_clients)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return [lat for chunk in latencies for lat in chunk], wall
+
+
+def test_fig_obs_report(benchmark):
+    report = FigureReport(
+        "fig_obs",
+        f"Observability overhead: tracing off / sampled-out / full at "
+        f"1-64 concurrent clients ({N_ROWS}x{DIM} corpus, top-{K})",
+        (
+            "mode",
+            "clients",
+            "seconds",
+            "queries",
+            "traced",
+            "p50_ms",
+            "p99_ms",
+            "overhead_pct",
+        ),
+    )
+
+    p50 = {}
+    for mode in MODES:
+        engine = _fresh_engine()
+        qvecs = unit_vectors(N_QUERIES, DIM, stream="fig_obs/queries")
+        with _service(mode, engine) as service:
+            # Warm the embed/normalization stores and the plan cache so
+            # every mode measures steady-state serving.
+            with service.session("fig-obs-warm") as session:
+                for qvec in qvecs[:WARMUP]:
+                    session.execute(
+                        service.engine.query("corpus").esimilar(
+                            "emb", qvec, model=MODEL, top_k=K
+                        )
+                    )
+            for n_clients in CLIENT_COUNTS:
+                # Every client serves at least one query even at smoke
+                # scale: pad the stream up to a multiple of n_clients.
+                per_client = max(1, N_QUERIES // n_clients)
+                cell_vecs = unit_vectors(
+                    per_client * n_clients,
+                    DIM,
+                    stream=f"fig_obs/queries-{n_clients}",
+                )
+                lat, wall = _drive(service, cell_vecs, n_clients)
+                pct = latency_percentiles(lat)
+                p50[(mode, n_clients)] = pct["p50"]
+                base = p50.get(("off", n_clients))
+                overhead = (
+                    0.0 if base is None else (pct["p50"] / base - 1.0) * 100.0
+                )
+                report.add(
+                    mode,
+                    n_clients,
+                    Seconds(wall, lat),
+                    len(lat),
+                    service.tracer.sampled,
+                    pct["p50"] * 1e3,
+                    pct["p99"] * 1e3,
+                    overhead,
+                )
+            if mode == "sampled":
+                assert service.tracer.sampled == 0, (
+                    "sampled mode unexpectedly traced a query; overhead "
+                    "numbers would mix modes"
+                )
+            if mode == "full":
+                # One real sample of each exporter format, archived by CI.
+                directory = results_dir()
+                directory.mkdir(parents=True, exist_ok=True)
+                (directory / "fig_obs_metrics.prom").write_text(
+                    service.metrics(), encoding="utf-8"
+                )
+                (directory / "fig_obs_traces.jsonl").write_text(
+                    service.traces_jsonl(), encoding="utf-8"
+                )
+                assert service.tracer.sampled > 0
+
+    report.note(
+        "off = obs_enabled=False; sampled = enabled at a rate that never "
+        "fires (the production default path); full = every query traced. "
+        "overhead_pct compares p50 to the off mode at the same client "
+        "count. The full-mode exporters' output is saved as "
+        "fig_obs_metrics.prom / fig_obs_traces.jsonl."
+    )
+    report.emit()
+
+    if not SMOKE:
+        limit = (
+            p50[("off", 1)] * SAMPLED_OVERHEAD_FACTOR
+            + SAMPLED_OVERHEAD_SLACK_S
+        )
+        assert p50[("sampled", 1)] <= limit, (
+            f"sampled-out tracing overhead too high: p50 "
+            f"{p50[('sampled', 1)] * 1e3:.3f} ms vs off "
+            f"{p50[('off', 1)] * 1e3:.3f} ms"
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -18,6 +18,9 @@ A hybrid vector-relational engine in pure Python/NumPy:
   cross-query shared-scan batching, plan + semantic result caches, and
   a QoS layer (deadlines, priorities, degraded-precision serving, an
   asyncio submission front),
+* :mod:`repro.obs` — unified observability: metrics registry, per-query
+  span tracing with a bounded ring, Prometheus/JSONL exporters, and
+  ``EXPLAIN ANALYZE``,
 * :mod:`repro.workloads` — seeded synthetic workload generators,
 * :mod:`repro.bench` — figure/table reproduction harness.
 
@@ -42,6 +45,7 @@ from .core import (
 from .embedding import EmbeddingModel, FastTextModel, HashingEmbedder
 from .engine import BatchPolicy, ExecutionEngine
 from .index import FlatIndex, HNSWIndex, IVFPQIndex
+from .obs import MetricsRegistry, Trace, Tracer, render_explain
 from .query import Engine
 from .relational import Catalog, Col, DataType, Field, Schema, Table
 from .service import (
@@ -70,6 +74,7 @@ __all__ = [
     "HashingEmbedder",
     "IVFPQIndex",
     "JoinResult",
+    "MetricsRegistry",
     "QoSParams",
     "QuantizedRelation",
     "QueryResponse",
@@ -80,12 +85,15 @@ __all__ = [
     "Table",
     "ThresholdCondition",
     "TopKCondition",
+    "Trace",
+    "Tracer",
     "__version__",
     "configure",
     "ejoin",
     "get_config",
     "join_with_precision",
     "quantized_tensor_join",
+    "render_explain",
     "rng",
     "set_seed",
     "tensor_join",

@@ -31,6 +31,7 @@ from ..embedding.registry import ModelRegistry, default_registry
 from ..engine import ExecutionEngine
 from ..errors import PlanError
 from ..index.base import VectorIndex
+from ..obs.trace import span
 from ..reliability.breaker import breakers
 from ..reliability.faults import maybe_inject
 from ..relational.catalog import Catalog
@@ -302,47 +303,60 @@ def _execute_eselect(
     # A plain table scan source lets the context cache the encoded store;
     # a cold one-shot selection stays on the exact fp32 scan unless the
     # compressed scan wins even with the build charged.
-    decision, store_key = _quantized_scan_decision(
-        ctx, node.child, node.column, node.model_name, 1, vectors, k
-    )
-    precision = _breaker_gate(store_key, decision.precision)
-    result = None
-    while precision in ("int8", "pq"):
-        breaker_key = None if store_key is None else (*store_key, precision)
-        try:
-            relation = vectors
-            if store_key is not None:
-                relation = ctx.quant_store_for(store_key, vectors, precision)
-            result = quantized_eselect(
-                relation, query, node.condition, method=precision
+    with span("planner.eselect") as sp:
+        n_fallbacks = len(report.fallbacks)
+        decision, store_key = _quantized_scan_decision(
+            ctx, node.child, node.column, node.model_name, 1, vectors, k
+        )
+        precision = _breaker_gate(store_key, decision.precision)
+        result = None
+        while precision in ("int8", "pq"):
+            breaker_key = (
+                None if store_key is None else (*store_key, precision)
             )
-        except Exception:
-            # Store build or compressed scan failed: feed the breaker and
-            # fall down the chain toward the exact fp32 scan.
+            try:
+                relation = vectors
+                if store_key is not None:
+                    relation = ctx.quant_store_for(
+                        store_key, vectors, precision
+                    )
+                result = quantized_eselect(
+                    relation, query, node.condition, method=precision
+                )
+            except Exception:
+                # Store build or compressed scan failed: feed the breaker
+                # and fall down the chain toward the exact fp32 scan.
+                if breaker_key is not None:
+                    breakers().record_failure(breaker_key)
+                    report.fallbacks.append("/".join(map(str, breaker_key)))
+                precision = _breaker_gate(
+                    store_key, _PRECISION_FALLBACK[precision]
+                )
+                continue
             if breaker_key is not None:
-                breakers().record_failure(breaker_key)
-                report.fallbacks.append("/".join(map(str, breaker_key)))
-            precision = _breaker_gate(
-                store_key, _PRECISION_FALLBACK[precision]
-            )
-            continue
-        if breaker_key is not None:
-            breakers().record_success(breaker_key)
-        break
-    if result is None:
-        if store_key is not None:
-            # Scan sources share one normalize-once matrix across queries
-            # and sessions; eselect's exact-rescore contract makes the
-            # shared and inline-normalized paths bit-identical.
-            normalized = ctx.normalized_matrix_for(store_key, vectors)
-            result = eselect(
-                normalized, query, node.condition, model=model,
-                assume_normalized=True,
-            )
-        else:
-            result = eselect(vectors, query, node.condition, model=model)
-    report.strategies.append(result.stats.strategy)
-    report.join_stats.append(result.stats)
+                breakers().record_success(breaker_key)
+            break
+        if result is None:
+            if store_key is not None:
+                # Scan sources share one normalize-once matrix across
+                # queries and sessions; eselect's exact-rescore contract
+                # makes the shared and inline-normalized paths
+                # bit-identical.
+                normalized = ctx.normalized_matrix_for(store_key, vectors)
+                result = eselect(
+                    normalized, query, node.condition, model=model,
+                    assume_normalized=True,
+                )
+            else:
+                result = eselect(vectors, query, node.condition, model=model)
+        report.strategies.append(result.stats.strategy)
+        report.join_stats.append(result.stats)
+        sp.set(
+            precision=precision if precision in ("int8", "pq") else "fp32",
+            strategy=result.stats.strategy,
+            rows=table.num_rows,
+            fallbacks=len(report.fallbacks) - n_fallbacks,
+        )
     out = table.take(result.ids)
     return out.with_column(
         Column(Field(node.score_column, DataType.FLOAT32), result.scores)
@@ -407,6 +421,25 @@ def _right_table_name(node: LogicalNode) -> str | None:
 
 
 def _execute_ejoin(
+    node: EJoinNode, ctx: ExecutionContext, report: ExecutionReport
+) -> Table:
+    with span("planner.ejoin") as sp:
+        n_strategies = len(report.strategies)
+        n_fallbacks = len(report.fallbacks)
+        out = _execute_ejoin_impl(node, ctx, report)
+        sp.set(
+            strategy=(
+                report.strategies[-1]
+                if len(report.strategies) > n_strategies
+                else None
+            ),
+            fallbacks=len(report.fallbacks) - n_fallbacks,
+            rows=out.num_rows,
+        )
+        return out
+
+
+def _execute_ejoin_impl(
     node: EJoinNode, ctx: ExecutionContext, report: ExecutionReport
 ) -> Table:
     left = _execute(node.left, ctx, report)

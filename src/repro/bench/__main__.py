@@ -40,6 +40,7 @@ EXPERIMENTS = {
     "fig_service": "test_fig_service.py",
     "fig_qos": "test_fig_qos.py",
     "fig_chaos": "test_fig_chaos.py",
+    "fig_obs": "test_fig_obs.py",
     "ablation-normalization": "test_ablation_normalization.py",
     "ablation-eselection": "test_ablation_eselection_cost.py",
     "ablation-fp16": "test_ablation_fp16.py",

@@ -126,6 +126,20 @@ class ReproConfig:
             declares a worker stuck, re-enqueues its in-flight morsel,
             and respawns a replacement thread.  ``0`` disables the
             watchdog (the scheduler then blocks on plain joins).
+        obs_enabled: Master switch for background trace sampling in the
+            observability layer.  Disabling only stops *sampled* traces;
+            ``explain_analyze=True`` submissions always trace, and the
+            metrics registry always counts.
+        obs_sample_rate: Fraction of submissions traced when no explicit
+            trace was requested, decided by a deterministic counter-hash
+            schedule (same idea as fault injection): ``0.0`` samples
+            nothing, ``1.0`` traces everything.
+        obs_ring_size: Completed traces retained in the tracer's bounded
+            ring buffer (oldest evicted first).
+        obs_sites: Comma-separated span-site prefixes to record (e.g.
+            ``"admission,coalesce,engine"``); empty records every site.
+            Spans are named ``site.detail``, so gating is by the part
+            before the first dot.
     """
 
     seed: int = DEFAULT_SEED
@@ -168,6 +182,10 @@ class ReproConfig:
     breaker_threshold: int = 3
     breaker_cooldown_s: float = 30.0
     watchdog_stall_s: float = 5.0
+    obs_enabled: bool = True
+    obs_sample_rate: float = 0.01
+    obs_ring_size: int = 256
+    obs_sites: str = ""
     extra: dict = field(default_factory=dict)
 
     def stream_seed(self, name: str) -> int:
@@ -332,6 +350,17 @@ def _config_from_env() -> ReproConfig:
     watchdog_stall = _env_number("REPRO_WATCHDOG_STALL_S", float)
     if watchdog_stall is not None:
         config.watchdog_stall_s = max(0.0, watchdog_stall)
+    # Observability knobs: trace sampling, ring retention, site gating.
+    obs_enabled = os.environ.get("REPRO_OBS_ENABLED", "")
+    if obs_enabled:
+        config.obs_enabled = obs_enabled != "0"
+    obs_sample = _env_number("REPRO_OBS_SAMPLE", float)
+    if obs_sample is not None:
+        config.obs_sample_rate = min(1.0, max(0.0, obs_sample))
+    obs_ring = _env_number("REPRO_OBS_RING", int)
+    if obs_ring is not None:
+        config.obs_ring_size = max(1, obs_ring)
+    config.obs_sites = os.environ.get("REPRO_OBS_SITES", config.obs_sites)
     return config
 
 

@@ -17,6 +17,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from ..config import cpu_count, get_config
+from ..obs.trace import span
 from ..reliability.retry import RetryBudget, RetryPolicy
 from ..reliability.runtime import current_deadline, current_retry_budget
 from ..reliability.watchdog import WatchdogPolicy
@@ -84,6 +85,27 @@ class EngineStats:
                     self.by_tag["<evicted>"] = (
                         self.by_tag.get("<evicted>", 0) + self.by_tag.pop(oldest)
                     )
+
+    def snapshot(self) -> dict:
+        """Consistent copy of every counter, taken under the lock.
+
+        Reporting paths (service stats/health, the metrics adapter) must
+        use this instead of reading fields directly: a concurrent
+        :meth:`record` would otherwise interleave mid-read and produce
+        counters that never coexisted.
+        """
+        with self._lock:
+            return {
+                "runs": self.runs,
+                "morsels_dispatched": self.morsels_dispatched,
+                "steals": self.steals,
+                "retries": self.retries,
+                "watchdog_stalls": self.watchdog_stalls,
+                "worker_deaths": self.worker_deaths,
+                "worker_respawns": self.worker_respawns,
+                "reenqueued_tasks": self.reenqueued_tasks,
+                "tagged_queries": len(self.by_tag),
+            }
 
 
 class ExecutionEngine:
@@ -197,9 +219,19 @@ class ExecutionEngine:
         bound = self.retry_policy.bind(
             deadline=current_deadline(), budget=budget
         )
-        results = scheduler.run(
-            tasks, stats=run_stats, retry=bound, watchdog=self.watchdog
-        )
+        # The span lives on the *dispatching* thread — the one carrying
+        # the ambient query trace; worker threads never see the scope,
+        # which is fine because the run's stats summarize their morsels.
+        with span("engine.run") as sp:
+            results = scheduler.run(
+                tasks, stats=run_stats, retry=bound, watchdog=self.watchdog
+            )
+            sp.set(
+                tag=self.tag,
+                morsels=run_stats.n_tasks,
+                steals=run_stats.steals,
+                retries=run_stats.retries,
+            )
         self.stats.record(run_stats, tag=self.tag)
         return results
 

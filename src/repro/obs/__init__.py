@@ -1,0 +1,57 @@
+"""Unified observability: metrics registry, per-query tracing, EXPLAIN.
+
+``repro.obs`` correlates what the sixteen per-layer ``*Stats`` classes
+could only count in isolation:
+
+* :mod:`~repro.obs.metrics` — process-wide :class:`MetricsRegistry`
+  (counters, gauges, log-bucketed histograms with p50/p95/p99),
+* :mod:`~repro.obs.trace` — span-based :class:`Tracer` with ambient
+  :func:`query_scope` propagation (the ``deadline_scope`` pattern,
+  generalized) and a bounded ring of recent traces,
+* :mod:`~repro.obs.export` — Prometheus-style text exposition and
+  JSON-lines trace dumps,
+* :mod:`~repro.obs.explain` — the ``explain_analyze=True`` per-query
+  span tree,
+* :mod:`~repro.obs.adapter` — publishes the existing ``*Stats``
+  snapshots into the registry without changing their APIs.
+
+Knobs: ``REPRO_OBS_ENABLED``, ``REPRO_OBS_SAMPLE``, ``REPRO_OBS_RING``,
+``REPRO_OBS_SITES`` (see ``docs/OBSERVABILITY.md``).
+"""
+
+from .explain import render_explain
+from .export import prometheus_text, traces_jsonl
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    reset_registry,
+)
+from .trace import (
+    Span,
+    Trace,
+    Tracer,
+    current_trace,
+    query_scope,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "Tracer",
+    "current_trace",
+    "prometheus_text",
+    "query_scope",
+    "registry",
+    "render_explain",
+    "reset_registry",
+    "span",
+    "traces_jsonl",
+]

@@ -1,0 +1,89 @@
+"""Thin adapter publishing the existing ``*Stats`` classes as metrics.
+
+None of the sixteen ``*Stats`` dataclasses change API: they keep their
+counters and ``snapshot()`` methods, and this module flattens those
+snapshots into registry gauges on demand (every :meth:`QueryService.metrics`
+call).  Pull-based publication matches how Prometheus scrapes anyway,
+and it means zero extra work on the query hot path — the only *live*
+metrics are the handful the service increments itself and the breaker
+transition counters.
+
+Naming: nested snapshot keys join with ``_`` under a ``repro_`` prefix
+(``stats_snapshot()["engine"]["steals"]`` becomes ``repro_engine_steals``),
+sanitized to the Prometheus name charset.  Non-numeric leaves are
+skipped, except breaker states, which publish as a per-path
+``repro_breaker_open`` 0/1 gauge plus trip/close counts.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .metrics import MetricsRegistry, registry
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize(part: str) -> str:
+    return _NAME_OK.sub("_", str(part))
+
+
+def publish_nested(
+    reg: MetricsRegistry, prefix: str, mapping: dict, **labels
+) -> int:
+    """Publish every numeric leaf of ``mapping`` as ``prefix_path`` gauges.
+
+    Returns the number of gauges written.  Booleans publish as 0/1;
+    strings and ``None`` are skipped (identity goes in labels, not
+    values).
+    """
+    written = 0
+    for key, value in mapping.items():
+        name = f"{prefix}_{_sanitize(key)}"
+        if isinstance(value, dict):
+            written += publish_nested(reg, name, value, **labels)
+        elif isinstance(value, bool):
+            reg.gauge(name, **labels).set(1.0 if value else 0.0)
+            written += 1
+        elif isinstance(value, (int, float)):
+            reg.gauge(name, **labels).set(float(value))
+            written += 1
+    return written
+
+
+def publish_breakers(reg: MetricsRegistry, breaker_snapshot: dict) -> None:
+    """Per-access-path breaker state as labelled gauges."""
+    for path, snap in breaker_snapshot.items():
+        open_ = 0.0 if snap.get("state") == "closed" else 1.0
+        reg.gauge("repro_breaker_open", path=path).set(open_)
+        reg.gauge("repro_breaker_trips", path=path).set(
+            float(snap.get("trips", 0))
+        )
+        reg.gauge("repro_breaker_closes", path=path).set(
+            float(snap.get("closes", 0))
+        )
+
+
+def publish_service(service, reg: MetricsRegistry | None = None) -> None:
+    """Sync one service's ``*Stats`` snapshots into the registry.
+
+    Covers the merged :meth:`QueryService.stats_snapshot` tree (service,
+    qos, admission, plan cache, result cache, coalescer, engine), the
+    reliability health snapshot (retries, watchdog, faults), per-path
+    breaker states, and the tracer's own sampling counters.
+    """
+    reg = registry() if reg is None else reg
+    publish_nested(reg, "repro", service.stats_snapshot())
+    health = service.health()
+    publish_nested(reg, "repro_retry", health.retries)
+    publish_nested(reg, "repro_watchdog", health.watchdog)
+    publish_nested(reg, "repro_fault", health.faults)
+    reg.gauge("repro_breakers_open_total").set(float(health.open_breakers))
+    publish_breakers(reg, health.breakers)
+    tracer = getattr(service, "tracer", None)
+    if tracer is not None:
+        reg.gauge("repro_obs_traces_retained").set(float(len(tracer.ring)))
+        reg.gauge("repro_obs_traces_sampled").set(float(tracer.sampled))
+        reg.gauge("repro_obs_submissions_considered").set(
+            float(tracer.considered)
+        )

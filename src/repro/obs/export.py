@@ -1,0 +1,92 @@
+"""Exporters: Prometheus-style text exposition and JSON-lines traces.
+
+Both formats are plain strings so they can go to a file, a socket, or a
+test assertion without any transport dependency:
+
+* :func:`prometheus_text` renders a :class:`~repro.obs.metrics.MetricsRegistry`
+  in the text exposition format (``# TYPE`` headers, ``name{labels} value``
+  samples; histograms expose ``_count``/``_sum`` plus ``quantile``-labelled
+  samples, summary-style);
+* :func:`traces_jsonl` renders traces one JSON object per line — the
+  shape trace viewers and ad hoc ``jq`` pipelines both want.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import Histogram, MetricsRegistry
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_text(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape(value)}"' for key, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Text exposition of every metric in ``registry`` (stable order)."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for metric in registry.iter_metrics():
+        if metric.name not in typed:
+            typed.add(metric.name)
+            # Histograms export quantiles, so they type as "summary".
+            kind = "summary" if metric.kind == "histogram" else metric.kind
+            lines.append(f"# TYPE {metric.name} {kind}")
+        if isinstance(metric, Histogram):
+            snap = metric.snapshot()
+            labels = metric.labels
+            lines.append(
+                f"{metric.name}_count{_label_text(labels)} {snap['count']}"
+            )
+            lines.append(
+                f"{metric.name}_sum{_label_text(labels)} "
+                f"{_format_value(snap['sum'])}"
+            )
+            for q_label, q_key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+                lines.append(
+                    f"{metric.name}"
+                    f"{_label_text(labels, {'quantile': q_label})} "
+                    f"{_format_value(snap[q_key])}"
+                )
+        else:
+            lines.append(
+                f"{metric.name}{_label_text(metric.labels)} "
+                f"{_format_value(metric.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def traces_jsonl(traces) -> str:
+    """One JSON object per line for each trace (oldest first)."""
+    lines = [
+        json.dumps(trace.to_dict(), sort_keys=True, default=str)
+        for trace in traces
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")

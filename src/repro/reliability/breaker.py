@@ -26,10 +26,20 @@ import threading
 import time
 
 from ..config import get_config
+from ..obs.metrics import registry as _metrics
 
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half_open"
+
+
+def _count_transition(to: str) -> None:
+    """Publish one breaker state transition into the metrics registry.
+
+    Transitions are rare (bounded by faults and cooldowns), so the
+    get-or-create lookup is fine here; hot paths never reach this.
+    """
+    _metrics().counter("repro_breaker_transitions_total", to=to).inc()
 
 
 class CircuitBreaker:
@@ -51,6 +61,8 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._trial_inflight = False
         self.trips = 0
+        #: Recoveries: transitions back to ``closed`` from open/half-open.
+        self.closes = 0
 
     @property
     def state(self) -> str:
@@ -73,6 +85,7 @@ class CircuitBreaker:
                     return False
                 self._state = HALF_OPEN
                 self._trial_inflight = True
+                _count_transition(HALF_OPEN)
                 return True
             # half_open: only the single in-flight trial is allowed.
             if self._trial_inflight:
@@ -82,9 +95,13 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         with self._lock:
+            recovered = self._state != CLOSED
             self._failures = 0
             self._state = CLOSED
             self._trial_inflight = False
+            if recovered:
+                self.closes += 1
+                _count_transition(CLOSED)
 
     def record_failure(self) -> None:
         with self._lock:
@@ -92,6 +109,7 @@ class CircuitBreaker:
             if self._state == HALF_OPEN or self._failures >= self.threshold:
                 if self._state != OPEN:
                     self.trips += 1
+                    _count_transition(OPEN)
                 self._state = OPEN
                 self._opened_at = self._clock()
                 self._failures = 0
@@ -103,6 +121,7 @@ class CircuitBreaker:
                 "state": self._state,
                 "failures": self._failures,
                 "trips": self.trips,
+                "closes": self.closes,
             }
 
 

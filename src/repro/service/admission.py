@@ -88,6 +88,19 @@ class AdmissionController:
         with self._cond:
             return self._inflight
 
+    def stats_snapshot(self) -> dict:
+        """Consistent counter copy taken under the admission lock.
+
+        ``AdmissionStats`` documents "read under the lock"; this is the
+        method reporting paths must use — ``controller.stats.snapshot()``
+        from another thread races with in-flight admissions.
+        """
+        with self._cond:
+            snap = self.stats.snapshot()
+            snap["inflight"] = self._inflight
+            snap["waiting"] = sum(1 for w in self._waiters if w[2])
+            return snap
+
     def _prune(self) -> None:
         """Drop abandoned (timed-out / shed) entries from the heap top."""
         while self._waiters and not self._waiters[0][2]:

@@ -75,12 +75,22 @@ class _Pending:
         "min_recall",
         "tag",
         "timeout_s",
+        "explain_analyze",
         "future",
         "loop",
     )
 
     def __init__(
-        self, query, priority, deadline, min_recall, tag, timeout_s, future, loop
+        self,
+        query,
+        priority,
+        deadline,
+        min_recall,
+        tag,
+        timeout_s,
+        explain_analyze,
+        future,
+        loop,
     ) -> None:
         self.query = query
         self.priority = priority
@@ -88,6 +98,7 @@ class _Pending:
         self.min_recall = min_recall
         self.tag = tag
         self.timeout_s = timeout_s
+        self.explain_analyze = explain_analyze
         self.future = future
         self.loop = loop
 
@@ -214,12 +225,15 @@ class AsyncQueryService:
         min_recall: float | None = None,
         tag: str = "async/anon",
         timeout_s: float | None = None,
+        explain_analyze: bool = False,
     ) -> QueryResponse:
         """Queue a query and await its :class:`QueryResponse`.
 
         The deadline clock starts *now* — time spent queued in the front
         counts against it, and only the residual budget is forwarded to
-        the service at dispatch.
+        the service at dispatch.  ``explain_analyze=True`` force-traces
+        the dispatched query and attaches the rendered span tree to
+        ``response.explain``.
         """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
@@ -229,7 +243,15 @@ class AsyncQueryService:
             else time.perf_counter() + float(deadline_s)
         )
         pending = _Pending(
-            query, priority, deadline, min_recall, tag, timeout_s, future, loop
+            query,
+            priority,
+            deadline,
+            min_recall,
+            tag,
+            timeout_s,
+            explain_analyze,
+            future,
+            loop,
         )
         with self._cond:
             if self._closed:
@@ -293,6 +315,7 @@ class AsyncQueryService:
                 min_recall=pending.min_recall,
                 tag=pending.tag,
                 timeout_s=pending.timeout_s,
+                explain_analyze=pending.explain_analyze,
             )
         except (KeyboardInterrupt, SystemExit) as exc:
             # The caller's future still resolves (a clean service error),

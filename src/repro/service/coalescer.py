@@ -46,6 +46,7 @@ from ..core.eselect import (
     exact_topk_select,
 )
 from ..errors import ServiceError
+from ..obs.trace import span
 from ..relational.column import Column
 from ..relational.schema import DataType, Field as SchemaField
 from ..relational.table import Table
@@ -123,6 +124,12 @@ class SharedScanRequest:
     tag: str
     result: Table | None = None
     error: BaseException | None = None
+    #: The submitting query's :class:`~repro.obs.trace.Trace` (or ``None``
+    #: when unsampled).  The group *leader* runs the shared scan on its own
+    #: thread, so follower traces cannot see it ambiently; the leader
+    #: attributes the work back by appending completed *foreign* spans
+    #: (``coalesce.scan``, ``rescore``) to every member's trace.
+    trace: object | None = None
 
     @property
     def key(self) -> tuple[str, str, str]:
@@ -212,6 +219,11 @@ class CoalescingScheduler:
         self._lock = threading.Lock()
         self.stats = CoalescerStats()
 
+    def stats_snapshot(self) -> dict:
+        """Consistent counter copy taken under the coalescer lock."""
+        with self._lock:
+            return self.stats.snapshot()
+
     def current_window_s(self) -> float:
         """The gather window a group leader would use right now."""
         if not self.adaptive:
@@ -244,10 +256,12 @@ class CoalescingScheduler:
             else:
                 is_leader = False
             group.requests.append(request)
-        if is_leader:
-            self._lead(group)
-        else:
-            group.done.wait()
+        with span("coalesce.wait") as sp:
+            if is_leader:
+                self._lead(group)
+            else:
+                group.done.wait()
+            sp.set(leader=is_leader, batch=len(group.requests))
         if request.error is not None:
             raise request.error
         assert request.result is not None
@@ -310,6 +324,8 @@ class CoalescingScheduler:
             self.stats.coalesced_queries += len(requests)
             self.stats.max_batch = max(self.stats.max_batch, len(requests))
 
+        scan_t0 = time.perf_counter()
+        scan_c0 = time.thread_time()
         table_name, column, model_name = key
         ctx = self.engine.context(tag=f"svc/scan/{table_name}.{column}")
         table = ctx.catalog.get(table_name)
@@ -436,6 +452,24 @@ class CoalescingScheduler:
                 else np.full(len(topk_rows), -np.inf, dtype=np.float32)
             )
 
+        # Attribute the shared scan to every member query: the scan ran
+        # once on the leader's thread, but each sampled trace receives a
+        # completed foreign span describing the batch it rode in.
+        scan_wall = time.perf_counter() - scan_t0
+        scan_cpu = time.thread_time() - scan_c0
+        for req in requests:
+            if req.trace is not None:
+                req.trace.add_span(
+                    "coalesce.scan",
+                    wall_s=scan_wall,
+                    cpu_s=scan_cpu,
+                    batch=len(requests),
+                    unique_vectors=len(uniq_vecs),
+                    blocks=len(starts),
+                    rows=n,
+                    bytes_scanned=int(n) * int(normalized.shape[1]) * 4,
+                )
+
         # Per-request demux: exact selection from the shared candidates.
         # Duplicate vectors share candidates but each request applies its
         # own condition, score column, and wrappers — and each fails
@@ -444,6 +478,9 @@ class CoalescingScheduler:
         for i, req in enumerate(requests):
             urow = urow_of[i]
             condition = req.node.condition
+            demux_t0 = time.perf_counter()
+            demux_c0 = time.thread_time()
+            candidates = 0
             try:
                 if isinstance(condition, ThresholdCondition):
                     j = pool_pos[urow]
@@ -452,12 +489,14 @@ class CoalescingScheduler:
                         if pools[j]
                         else np.empty(0, dtype=np.int64)
                     )
+                    candidates = len(cand)
                     ids, scores = exact_threshold_select(
                         normalized, cand, req.qvec, condition.threshold
                     )
                     req.result = self._materialize(table, ids, scores, req)
                 else:
                     j = heap_pos[urow]
+                    candidates = len(heap_ids[j])
                     ids_scores = self._demux_topk(
                         normalized, heap_ids[j], float(heap_floor[j]), req,
                         condition, n,
@@ -465,6 +504,14 @@ class CoalescingScheduler:
                     req.result = self._materialize(table, *ids_scores, req)
             except BaseException as exc:
                 req.error = exc
+            if req.trace is not None:
+                req.trace.add_span(
+                    "rescore",
+                    wall_s=time.perf_counter() - demux_t0,
+                    cpu_s=time.thread_time() - demux_c0,
+                    candidates=candidates,
+                    rows=0 if req.result is None else len(req.result),
+                )
 
     def _demux_topk(
         self,

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 
 from ..algebra.logical import ESelectNode, LogicalNode
 from ..algebra.optimizer import Optimizer
+from ..obs.trace import span
 from ..relational.catalog import Catalog
 
 
@@ -114,21 +115,30 @@ class PlanCache:
         Returns ``(optimized, fingerprint_key, payloads)`` — the key and
         payloads double as the semantic result cache's lookup key parts.
         """
-        template, params = parameterize(plan)
-        key = template.explain()
-        with self._lock:
-            cached = self._entries.get(key)
-            if cached is not None:
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-        if cached is None:
-            cached = Optimizer(catalog=catalog).optimize(template)
+        with span("plan.cache") as sp:
+            template, params = parameterize(plan)
+            key = template.explain()
             with self._lock:
-                self.stats.misses += 1
-                if self.capacity > 0:
-                    self._entries[key] = cached
+                cached = self._entries.get(key)
+                if cached is not None:
                     self._entries.move_to_end(key)
-                    while len(self._entries) > self.capacity:
-                        self._entries.popitem(last=False)
-                        self.stats.evictions += 1
-        return substitute(cached, params), key, params
+                    self.stats.hits += 1
+            sp.set(hit=cached is not None, params=len(params))
+            if cached is None:
+                cached = Optimizer(catalog=catalog).optimize(template)
+                with self._lock:
+                    self.stats.misses += 1
+                    if self.capacity > 0:
+                        self._entries[key] = cached
+                        self._entries.move_to_end(key)
+                        while len(self._entries) > self.capacity:
+                            self._entries.popitem(last=False)
+                            self.stats.evictions += 1
+            return substitute(cached, params), key, params
+
+    def stats_snapshot(self) -> dict:
+        """Consistent counter copy taken under the cache lock."""
+        with self._lock:
+            snap = self.stats.snapshot()
+            snap["entries"] = len(self._entries)
+            return snap

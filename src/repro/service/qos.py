@@ -213,6 +213,13 @@ class QueryResponse:
     #: shedding only happens *before* execution starts).
     deadline_met: bool | None = None
     cache_hit: bool = False
+    #: Service-assigned id (``q<seq>``); set on every submission.
+    query_id: str | None = None
+    #: The query's :class:`~repro.obs.trace.Trace` when it was sampled
+    #: (or forced via ``explain_analyze=True``); ``None`` otherwise.
+    trace: object | None = None
+    #: Rendered EXPLAIN ANALYZE tree; only set for ``explain_analyze=True``.
+    explain: str | None = None
 
 
 @dataclass

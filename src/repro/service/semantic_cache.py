@@ -119,6 +119,13 @@ class SemanticResultCache:
         with self._lock:
             return len(self._entries)
 
+    def stats_snapshot(self) -> dict:
+        """Consistent counter copy taken under the cache lock."""
+        with self._lock:
+            snap = self.stats.snapshot()
+            snap["entries"] = len(self._entries)
+            return snap
+
     # ------------------------------------------------------------------
     # Internals (called with the lock held)
     # ------------------------------------------------------------------

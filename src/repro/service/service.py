@@ -28,6 +28,7 @@ an exact answer.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from dataclasses import dataclass
@@ -39,6 +40,11 @@ from ..config import get_config
 from ..core.cost_model import quantized_recall_estimate
 from ..core.quantized_join import quantized_eselect
 from ..errors import DeadlineExceededError, ServiceError, SessionClosedError
+from ..obs.adapter import publish_service
+from ..obs.explain import render_explain
+from ..obs.export import prometheus_text, traces_jsonl
+from ..obs.metrics import registry as metrics_registry
+from ..obs.trace import Tracer, current_trace, query_scope, span
 from ..query.builder import Engine, QueryBuilder
 from ..relational.table import Table
 from ..reliability.breaker import breakers
@@ -97,13 +103,25 @@ class SessionHandle:
         return self.service.engine.query(table_name)
 
     def execute(
-        self, query: "QueryBuilder | object", *, timeout_s: float | None = None
+        self,
+        query: "QueryBuilder | object",
+        *,
+        timeout_s: float | None = None,
+        explain_analyze: bool = False,
     ) -> Table:
-        """Submit a query (builder or logical plan) and block for its result."""
+        """Submit a query (builder or logical plan) and block for its result.
+
+        With ``explain_analyze=True`` the return value is the full
+        :class:`~repro.service.qos.QueryResponse` (carrying the rendered
+        span tree in ``.explain``) instead of the bare table.
+        """
         seq = self._next_seq()
         try:
             return self.service.submit(
-                query, tag=f"{self.name}/q{seq}", timeout_s=timeout_s
+                query,
+                tag=f"{self.name}/q{seq}",
+                timeout_s=timeout_s,
+                explain_analyze=explain_analyze,
             )
         except (KeyboardInterrupt, SystemExit):
             raise
@@ -120,6 +138,7 @@ class SessionHandle:
         priority: int = DEFAULT_PRIORITY,
         min_recall: float | None = None,
         timeout_s: float | None = None,
+        explain_analyze: bool = False,
     ) -> QueryResponse:
         """Submit with QoS terms; block for the annotated response.
 
@@ -134,6 +153,8 @@ class SessionHandle:
                 scan (response flagged ``degraded``).  ``None`` forbids
                 degradation.
             timeout_s: admission backpressure bound (overload wait).
+            explain_analyze: force-trace this query and attach the
+                rendered span tree to ``response.explain``.
         """
         seq = self._next_seq()
         try:
@@ -144,6 +165,7 @@ class SessionHandle:
                 min_recall=min_recall,
                 tag=f"{self.name}/q{seq}",
                 timeout_s=timeout_s,
+                explain_analyze=explain_analyze,
             )
         except (KeyboardInterrupt, SystemExit):
             raise
@@ -213,9 +235,15 @@ class QueryService:
             rate instead of the fixed ``coalesce_window_s``.
         result_cache_tinylfu: enable TinyLFU cost-aware admission on the
             result cache.
+        obs_enabled: master switch for per-query trace sampling.
+        obs_sample_rate: fraction of submissions traced (deterministic
+            counter-hash schedule; ``explain_analyze`` bypasses it).
+        obs_ring_size: completed traces retained for
+            :meth:`recent_traces`.
+        obs_sites: comma-separated span-site allowlist (empty: all).
 
-    Every knob defaults to the ``REPRO_SERVICE_*`` / ``REPRO_QOS_*``
-    configuration.
+    Every knob defaults to the ``REPRO_SERVICE_*`` / ``REPRO_QOS_*`` /
+    ``REPRO_OBS_*`` configuration.
     """
 
     def __init__(
@@ -233,6 +261,10 @@ class QueryService:
         near_dup_threshold: float | None = None,
         adaptive_window: bool | None = None,
         result_cache_tinylfu: bool | None = None,
+        obs_enabled: bool | None = None,
+        obs_sample_rate: float | None = None,
+        obs_ring_size: int | None = None,
+        obs_sites: str | None = None,
     ) -> None:
         config = get_config()
         self.engine = engine
@@ -307,6 +339,33 @@ class QueryService:
         self._singleflight_lock = threading.Lock()
         self._sessions = 0
         self._closed = False
+        self.tracer = Tracer(
+            enabled=obs_enabled,
+            sample_rate=obs_sample_rate,
+            ring_size=obs_ring_size,
+            sites=obs_sites,
+        )
+        self.metrics_registry = metrics_registry()
+        #: Hot-path metric handles, resolved once: submission outcomes
+        #: and a latency histogram are the only metrics the service
+        #: updates live — everything else is pull-published by
+        #: :meth:`metrics` through the adapter.
+        self._m_completed = self.metrics_registry.counter(
+            "repro_queries_total", outcome="completed"
+        )
+        self._m_failed = self.metrics_registry.counter(
+            "repro_queries_total", outcome="failed"
+        )
+        self._m_shed = self.metrics_registry.counter(
+            "repro_queries_total", outcome="shed"
+        )
+        self._m_rejected = self.metrics_registry.counter(
+            "repro_queries_total", outcome="rejected"
+        )
+        self._m_latency = self.metrics_registry.histogram(
+            "repro_query_latency_seconds"
+        )
+        self._query_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Sessions
@@ -327,6 +386,7 @@ class QueryService:
         *,
         tag: str = "svc/anon",
         timeout_s: float | None = None,
+        explain_analyze: bool = False,
     ) -> Table:
         """Admit, plan, and execute one query; blocks until the result.
 
@@ -335,10 +395,20 @@ class QueryService:
         execution.  Called from client threads; the service has no worker
         pool of its own; concurrency is whatever the callers bring,
         bounded by admission control.
+
+        With ``explain_analyze=True`` the query is force-traced and the
+        full :class:`~repro.service.qos.QueryResponse` is returned
+        instead of the bare table: ``.explain`` carries the rendered
+        per-query span tree, ``.trace`` the raw spans.
         """
-        return self.submit_qos(
-            query, min_recall=1.0, tag=tag, timeout_s=timeout_s
-        ).table
+        response = self.submit_qos(
+            query,
+            min_recall=1.0,
+            tag=tag,
+            timeout_s=timeout_s,
+            explain_analyze=explain_analyze,
+        )
+        return response if explain_analyze else response.table
 
     def submit_qos(
         self,
@@ -349,6 +419,7 @@ class QueryService:
         min_recall: float | None = None,
         tag: str = "svc/anon",
         timeout_s: float | None = None,
+        explain_analyze: bool = False,
     ) -> QueryResponse:
         """Submit with QoS terms; return the result plus its QoS metadata.
 
@@ -375,6 +446,8 @@ class QueryService:
                 default, forbidding degradation).
             tag: morsel-attribution tag for the engine scheduler.
             timeout_s: admission backpressure bound.
+            explain_analyze: force-trace this query (bypassing sampling)
+                and attach the rendered span tree to ``response.explain``.
         """
         if self._closed:
             raise ServiceError("service is shut down")
@@ -389,14 +462,51 @@ class QueryService:
         if qos.deadline is not None:
             with self._stats_lock:
                 self.qos.with_deadline += 1
+        query_id = f"q{next(self._query_ids)}"
+        trace = self.tracer.maybe_trace(query_id, tag, force=explain_analyze)
         try:
-            self.admission.acquire(
-                timeout_s=timeout_s, priority=qos.priority, deadline=qos.deadline
-            )
-        except DeadlineExceededError:
-            with self._stats_lock:
-                self.qos.shed_expired += 1
-            raise
+            with query_scope(trace):
+                response = self._submit_scoped(
+                    plan, qos, tag, start, timeout_s=timeout_s
+                )
+        finally:
+            # Shed / rejected / failed queries retire into the ring too —
+            # those are exactly the traces an operator wants to see.
+            if trace is not None:
+                self.tracer.record(trace)
+        response.query_id = query_id
+        response.trace = trace
+        if explain_analyze and trace is not None:
+            response.explain = render_explain(trace)
+        return response
+
+    def _submit_scoped(
+        self,
+        plan,
+        qos: QoSParams,
+        tag: str,
+        start: float,
+        *,
+        timeout_s: float | None,
+    ) -> QueryResponse:
+        """The admitted lifetime of one submission (runs inside its scope)."""
+        config = get_config()
+        with span("admission") as sp:
+            sp.set(priority=qos.priority)
+            try:
+                self.admission.acquire(
+                    timeout_s=timeout_s,
+                    priority=qos.priority,
+                    deadline=qos.deadline,
+                )
+            except DeadlineExceededError:
+                with self._stats_lock:
+                    self.qos.shed_expired += 1
+                self._m_shed.inc()
+                raise
+            except Exception:
+                self._m_rejected.inc()
+                raise
         with self._stats_lock:
             self.stats.submitted += 1
         try:
@@ -417,12 +527,18 @@ class QueryService:
                     self.qos.deadline_met += 1
                 elif response.deadline_met is False:
                     self.qos.deadline_missed += 1
+            self._m_completed.inc()
+            self._m_latency.observe(response.latency_s)
             return response
         except (KeyboardInterrupt, SystemExit):
             raise
-        except Exception:
+        except Exception as exc:
             with self._stats_lock:
                 self.stats.failed += 1
+            if isinstance(exc, DeadlineExceededError):
+                self._m_shed.inc()
+            else:
+                self._m_failed.inc()
             raise
         finally:
             self.admission.release()
@@ -451,7 +567,9 @@ class QueryService:
                 config.default_rerank_multiple,
             ),
         )
-        cached = self.results.lookup(fkey, versions, params)
+        with span("cache.lookup") as sp:
+            cached = self.results.lookup(fkey, versions, params)
+            sp.set(hit=cached is not None)
         if cached is not None:
             with self._stats_lock:
                 self.stats.result_cache_hits += 1
@@ -470,20 +588,30 @@ class QueryService:
                 ):
                     with self._stats_lock:
                         self.qos.shed_unmeetable += 1
+                    with span("qos.decision") as sp:
+                        sp.set(
+                            action="shed",
+                            estimate_s=estimate,
+                            remaining_s=remaining,
+                        )
                     raise DeadlineExceededError(
                         f"estimated execution {estimate:.3g}s exceeds the "
                         f"{remaining:.3g}s left before the deadline"
                     )
-                exec_start = time.perf_counter()
-                retry = self.engine.executor.retry_policy.bind(
-                    deadline=qos.deadline, budget=current_retry_budget()
-                )
-                table = retry.call(
-                    lambda: self._execute_degraded(optimized, precision, tag)
-                )
-                self.qos_tracker.observe(
-                    "degraded", time.perf_counter() - exec_start
-                )
+                with span("qos.degraded") as sp:
+                    sp.set(precision=precision, remaining_s=remaining)
+                    exec_start = time.perf_counter()
+                    retry = self.engine.executor.retry_policy.bind(
+                        deadline=qos.deadline, budget=current_retry_budget()
+                    )
+                    table = retry.call(
+                        lambda: self._execute_degraded(
+                            optimized, precision, tag
+                        )
+                    )
+                    self.qos_tracker.observe(
+                        "degraded", time.perf_counter() - exec_start
+                    )
                 # Degraded tables bypass the result cache and singleflight:
                 # an approximate answer must never be replayed as exact.
                 return self._respond(
@@ -500,7 +628,8 @@ class QueryService:
                 slot = _InflightResult()
                 self._inflight_results[sf_key] = slot
         if not owner:
-            slot.done.wait()
+            with span("singleflight.wait"):
+                slot.done.wait()
             if slot.error is not None:
                 raise slot.error
             with self._stats_lock:
@@ -514,7 +643,11 @@ class QueryService:
             self.qos_tracker.observe("full", exec_seconds)
             # The seconds it took to compute weigh this entry in TinyLFU
             # cost-aware admission duels.
-            self.results.store(fkey, versions, params, result, cost=exec_seconds)
+            with span("cache.store") as sp:
+                sp.set(cost_s=exec_seconds)
+                self.results.store(
+                    fkey, versions, params, result, cost=exec_seconds
+                )
             slot.result = result
         except (KeyboardInterrupt, SystemExit):
             # Waiters still get a resolved future — a clean service error,
@@ -577,12 +710,21 @@ class QueryService:
         if request is not None:
             with self._stats_lock:
                 self.stats.coalesced += 1
-            return self.coalescer.submit(request)
+            with span("execute") as sp:
+                sp.set(mode="coalesced")
+                return self.coalescer.submit(request)
         with self._stats_lock:
             self.stats.direct += 1
         ctx = self.engine.context(tag=tag)
         report = ExecutionReport()
-        return execute(optimized, ctx, report=report)
+        with span("execute") as sp:
+            result = execute(optimized, ctx, report=report)
+            sp.set(
+                mode="direct",
+                strategies=report.strategies,
+                fallbacks=len(report.fallbacks),
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Degraded (quantized prescreen-only) execution
@@ -663,6 +805,9 @@ class QueryService:
             qvec=normalize_vector(qraw),
             qraw=qraw,
             tag=tag,
+            # The group leader executes on *its* thread; handing the
+            # ambient trace over lets it attribute the shared scan back.
+            trace=current_trace(),
         )
 
     # ------------------------------------------------------------------
@@ -687,27 +832,19 @@ class QueryService:
             }
             qos = self.qos.snapshot()
         qos["exec_estimates"] = self.qos_tracker.snapshot()
+        # Every component snapshot below is taken under that component's
+        # own lock (``stats_snapshot`` / ``EngineStats.snapshot``), so
+        # each block is internally consistent even while queries run.
         snapshot = {
             "service": service,
             "qos": qos,
-            "admission": self.admission.stats.snapshot(),
-            "plan_cache": self.plans.stats.snapshot(),
-            "result_cache": self.results.stats.snapshot(),
+            "admission": self.admission.stats_snapshot(),
+            "plan_cache": self.plans.stats_snapshot(),
+            "result_cache": self.results.stats_snapshot(),
         }
         if self.coalescer is not None:
-            snapshot["coalescer"] = self.coalescer.stats.snapshot()
-        engine_stats = self.engine.executor.stats
-        snapshot["engine"] = {
-            "runs": engine_stats.runs,
-            "morsels_dispatched": engine_stats.morsels_dispatched,
-            "steals": engine_stats.steals,
-            "retries": engine_stats.retries,
-            "watchdog_stalls": engine_stats.watchdog_stalls,
-            "worker_deaths": engine_stats.worker_deaths,
-            "worker_respawns": engine_stats.worker_respawns,
-            "reenqueued_tasks": engine_stats.reenqueued_tasks,
-            "tagged_queries": len(engine_stats.by_tag),
-        }
+            snapshot["coalescer"] = self.coalescer.stats_snapshot()
+        snapshot["engine"] = self.engine.executor.stats.snapshot()
         return snapshot
 
     def health(self) -> ServiceHealth:
@@ -719,14 +856,14 @@ class QueryService:
         retry, watchdog, fault-injection, QoS, and service counters come
         along so the cause is visible in the same picture.
         """
-        engine_stats = self.engine.executor.stats
+        engine_snap = self.engine.executor.stats.snapshot()
         registry = breakers()
         open_breakers = registry.open_count()
         watchdog = {
-            "stalls": engine_stats.watchdog_stalls,
-            "worker_deaths": engine_stats.worker_deaths,
-            "respawns": engine_stats.worker_respawns,
-            "reenqueued_tasks": engine_stats.reenqueued_tasks,
+            "stalls": engine_snap["watchdog_stalls"],
+            "worker_deaths": engine_snap["worker_deaths"],
+            "respawns": engine_snap["worker_respawns"],
+            "reenqueued_tasks": engine_snap["reenqueued_tasks"],
         }
         injector = active_injector()
         with self._stats_lock:
@@ -738,7 +875,7 @@ class QueryService:
             qos = self.qos.snapshot()
         status = (
             "ok"
-            if open_breakers == 0 and engine_stats.worker_deaths == 0
+            if open_breakers == 0 and engine_snap["worker_deaths"] == 0
             else "degraded"
         )
         return ServiceHealth(
@@ -751,6 +888,28 @@ class QueryService:
             qos=qos,
             service=service,
         )
+
+    # ------------------------------------------------------------------
+    # Observability exports
+    # ------------------------------------------------------------------
+    def metrics(self) -> str:
+        """Prometheus-style text exposition of every layer's counters.
+
+        Pull-based: each call syncs the ``*Stats`` snapshots into the
+        process-wide registry through the adapter, then renders the
+        whole registry (including the live counters and any breaker
+        transition counts) as text.
+        """
+        publish_service(self, self.metrics_registry)
+        return prometheus_text(self.metrics_registry)
+
+    def recent_traces(self) -> list:
+        """Completed sampled/forced traces, oldest first (bounded ring)."""
+        return self.tracer.recent()
+
+    def traces_jsonl(self) -> str:
+        """The trace ring as JSON-lines (one trace dict per line)."""
+        return traces_jsonl(self.tracer.recent())
 
     def shutdown(
         self, *, drain: bool = True, timeout_s: float | None = None

@@ -1,0 +1,149 @@
+"""Span tracer: ambient propagation, sampling, site gating, the ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import Trace, Tracer, current_trace, query_scope, span
+
+pytestmark = pytest.mark.obs
+
+
+class TestAmbientPropagation:
+    def test_no_scope_means_null_span(self):
+        assert current_trace() is None
+        with span("anything") as sp:
+            sp.set(rows=3)  # must be a harmless no-op
+        # The unsampled path allocates nothing: one shared singleton.
+        assert span("a") is span("b")
+
+    def test_nesting_records_parent_links(self):
+        trace = Trace("q1", "t")
+        with query_scope(trace):
+            assert current_trace() is trace
+            with span("a"):
+                with span("b") as sp:
+                    sp.set(rows=7)
+            with span("c"):
+                pass
+        assert current_trace() is None
+        names = [s.name for s in trace.spans]
+        assert names == ["query", "a", "b", "c"]
+        parents = [s.parent for s in trace.spans]
+        assert parents == [-1, 0, 1, 0]
+        assert trace.spans[2].attrs["rows"] == 7
+        assert trace.status == "ok"
+        # The root span covers its children.
+        assert trace.spans[0].wall_s >= trace.spans[1].wall_s >= 0.0
+
+    def test_scope_failure_marks_trace(self):
+        trace = Trace("q1", "t")
+        with pytest.raises(RuntimeError, match="boom"):
+            with query_scope(trace):
+                with span("a"):
+                    raise RuntimeError("boom")
+        assert trace.status == "failed"
+        assert "boom" in trace.error
+        # The failing span carries the error too.
+        assert "boom" in trace.spans[1].attrs["error"]
+
+    def test_none_trace_scope_is_cheap_and_transparent(self):
+        with query_scope(None):
+            assert current_trace() is None
+            with span("a"):
+                pass
+
+    def test_scopes_restore_outer_trace(self):
+        outer, inner = Trace("q1", "t"), Trace("q2", "t")
+        with query_scope(outer):
+            with query_scope(inner):
+                assert current_trace() is inner
+            assert current_trace() is outer
+
+
+class TestForeignSpans:
+    def test_foreign_span_parents_at_root(self):
+        trace = Trace("q1", "t")
+        with query_scope(trace):
+            pass
+        trace.add_span("coalesce.scan", wall_s=0.01, cpu_s=0.008, batch=4)
+        foreign = trace.spans[-1]
+        assert foreign.parent == 0
+        assert foreign.start_s >= 0.0
+        assert foreign.wall_s == 0.01
+        assert foreign.attrs["batch"] == 4
+
+    def test_foreign_span_on_empty_trace_is_a_root(self):
+        trace = Trace("q1", "t")
+        trace.add_span("rescore", wall_s=0.001)
+        assert trace.spans[0].parent == -1
+
+
+class TestSiteGating:
+    def test_sites_gate_by_prefix(self):
+        tracer = Tracer(enabled=True, sample_rate=1.0, sites="coalesce,planner", seed=1)
+        trace = tracer.maybe_trace("q1", "t")
+        assert trace.allows("coalesce.scan")
+        assert trace.allows("planner.eselect")
+        assert not trace.allows("admission")
+        with query_scope(trace):
+            with span("admission"):
+                pass
+            with span("coalesce.wait"):
+                pass
+        # The root "query" span is never gated; "admission" was.
+        assert [s.name for s in trace.spans] == ["query", "coalesce.wait"]
+        # Foreign appends honour the same gate.
+        assert trace.add_span("rescore", wall_s=0.001) is None
+        assert len(trace.spans) == 2
+
+    def test_empty_sites_allows_everything(self):
+        trace = Trace("q1", "t")
+        assert trace.allows("anything.at.all")
+
+
+class TestSampling:
+    def test_deterministic_for_a_pinned_seed(self):
+        a = Tracer(enabled=True, sample_rate=0.3, seed=7)
+        b = Tracer(enabled=True, sample_rate=0.3, seed=7)
+        seq_a = [a.maybe_trace(f"q{i}", "t") is not None for i in range(200)]
+        seq_b = [b.maybe_trace(f"q{i}", "t") is not None for i in range(200)]
+        assert seq_a == seq_b
+        assert 0 < sum(seq_a) < 200
+        assert a.considered == 200
+        assert a.sampled == sum(seq_a)
+
+    def test_rate_bounds(self):
+        never = Tracer(enabled=True, sample_rate=0.0, seed=7)
+        assert all(never.maybe_trace(f"q{i}", "t") is None for i in range(50))
+        always = Tracer(enabled=True, sample_rate=1.0, seed=7)
+        assert all(
+            always.maybe_trace(f"q{i}", "t") is not None for i in range(50)
+        )
+
+    def test_disabled_still_honours_force(self):
+        tracer = Tracer(enabled=False, sample_rate=1.0, seed=7)
+        assert tracer.maybe_trace("q1", "t") is None
+        forced = tracer.maybe_trace("q1", "t", force=True)
+        assert isinstance(forced, Trace)
+
+
+class TestRing:
+    def test_ring_keeps_newest_oldest_first(self):
+        tracer = Tracer(enabled=True, sample_rate=1.0, ring_size=4, seed=7)
+        for i in range(10):
+            tracer.record(Trace(f"q{i}", "t"))
+        recent = tracer.recent()
+        assert [t.query_id for t in recent] == ["q6", "q7", "q8", "q9"]
+
+    def test_to_dict_shape(self):
+        trace = Trace("q1", "cli/q1")
+        with query_scope(trace):
+            with span("a") as sp:
+                sp.set(rows=2)
+        snap = trace.to_dict()
+        assert snap["query_id"] == "q1"
+        assert snap["tag"] == "cli/q1"
+        assert snap["status"] == "ok"
+        assert len(snap["spans"]) == 2
+        assert snap["spans"][1]["attrs"] == {"rows": 2}
