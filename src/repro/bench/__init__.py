@@ -1,5 +1,6 @@
 """Benchmark harness for reproducing the paper's figures and tables."""
 
+from .compare import compare_dirs, compare_reports, load_reports
 from .harness import (
     RESULTS_DIR,
     FigureReport,
@@ -15,8 +16,11 @@ __all__ = [
     "FigureReport",
     "RESULTS_DIR",
     "Seconds",
+    "compare_dirs",
+    "compare_reports",
     "git_revision",
     "latency_percentiles",
+    "load_reports",
     "median_time",
     "speedup",
     "time_call",

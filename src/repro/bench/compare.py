@@ -1,0 +1,168 @@
+"""Bench-report regression comparison: diff two sets of ``BENCH_*.json``.
+
+``python -m repro.bench --compare BASELINE_DIR`` loads every figure
+report in the baseline directory, pairs it with the same figure in the
+current directory, and compares the latency entries keyed by
+``(figure, row_label, column)`` on p50.  A current p50 more than
+``threshold`` percent *above* the baseline is a regression; the CLI
+exits non-zero if any is found, which is what lets CI finally accumulate
+a perf trajectory out of reports that were previously write-only.
+
+Guardrails that keep the comparison honest:
+
+* reports whose ``smoke`` config flags differ are skipped entirely —
+  smoke-scale numbers say nothing about full-scale ones;
+* entries whose baseline p50 is under ``min_seconds`` are skipped — at
+  sub-millisecond scale, timer and scheduler noise swamps any signal;
+* a figure present on only one side is reported but never a failure —
+  benchmarks come and go across PRs.
+
+The comparison itself is pure (dicts in, dict out), so tests can feed it
+synthetic reports and CI can archive its JSON output as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Default regression threshold: current p50 > baseline p50 * 1.2 fails.
+DEFAULT_THRESHOLD_PCT = 20.0
+#: Baseline p50s below this are timer noise, not a comparison basis.
+DEFAULT_MIN_SECONDS = 0.0005
+
+
+def load_reports(directory: str | Path) -> dict[str, dict]:
+    """``figure -> report`` for every ``BENCH_*.json`` in ``directory``."""
+    reports = {}
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        try:
+            report = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        figure = report.get("figure") or path.stem.removeprefix("BENCH_")
+        reports[figure] = report
+    return reports
+
+
+def _latency_index(report: dict) -> dict[tuple, dict]:
+    """``(row_label, column) -> percentiles`` from a report's latency list."""
+    index = {}
+    for entry in report.get("latency", ()):
+        key = (str(entry.get("row_label")), str(entry.get("column")))
+        percentiles = entry.get("percentiles") or {}
+        if percentiles.get("p50") is not None:
+            index[key] = percentiles
+    return index
+
+
+def _is_smoke(report: dict) -> bool:
+    return bool((report.get("config") or {}).get("smoke"))
+
+
+def compare_reports(
+    baseline: dict[str, dict],
+    current: dict[str, dict],
+    *,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> dict:
+    """Compare two ``figure -> report`` maps; returns the comparison dict.
+
+    ``ok`` is false iff at least one compared entry regressed beyond
+    ``threshold_pct``.  Improvements are listed symmetrically (same
+    threshold, other direction) but never fail the comparison.
+    """
+    entries = []
+    regressions = []
+    improvements = []
+    skipped = []
+    for figure in sorted(set(baseline) | set(current)):
+        base = baseline.get(figure)
+        cur = current.get(figure)
+        if base is None or cur is None:
+            skipped.append(
+                {
+                    "figure": figure,
+                    "reason": (
+                        "missing_in_current" if cur is None else "missing_in_baseline"
+                    ),
+                }
+            )
+            continue
+        if _is_smoke(base) != _is_smoke(cur):
+            skipped.append({"figure": figure, "reason": "smoke_mismatch"})
+            continue
+        base_idx = _latency_index(base)
+        cur_idx = _latency_index(cur)
+        for key in sorted(set(base_idx) & set(cur_idx)):
+            base_p50 = float(base_idx[key]["p50"])
+            cur_p50 = float(cur_idx[key]["p50"])
+            if base_p50 < min_seconds:
+                continue
+            delta_pct = (cur_p50 / base_p50 - 1.0) * 100.0
+            entry = {
+                "figure": figure,
+                "row_label": key[0],
+                "column": key[1],
+                "baseline_p50_s": base_p50,
+                "current_p50_s": cur_p50,
+                "delta_pct": round(delta_pct, 3),
+            }
+            entries.append(entry)
+            if delta_pct > threshold_pct:
+                regressions.append(entry)
+            elif delta_pct < -threshold_pct:
+                improvements.append(entry)
+    return {
+        "threshold_pct": threshold_pct,
+        "min_seconds": min_seconds,
+        "compared": len(entries),
+        "entries": entries,
+        "regressions": regressions,
+        "improvements": improvements,
+        "skipped": skipped,
+        "ok": not regressions,
+    }
+
+
+def compare_dirs(
+    baseline_dir: str | Path,
+    current_dir: str | Path,
+    *,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> dict:
+    """Directory-level convenience around :func:`compare_reports`."""
+    result = compare_reports(
+        load_reports(baseline_dir),
+        load_reports(current_dir),
+        threshold_pct=threshold_pct,
+        min_seconds=min_seconds,
+    )
+    result["baseline_dir"] = str(baseline_dir)
+    result["current_dir"] = str(current_dir)
+    return result
+
+
+def render_comparison(result: dict) -> str:
+    """Human-readable summary of a comparison dict."""
+    lines = [
+        f"bench compare: {result['compared']} entries, threshold "
+        f"{result['threshold_pct']:g}% "
+        f"({result.get('baseline_dir', '?')} -> {result.get('current_dir', '?')})"
+    ]
+    for kind in ("regressions", "improvements"):
+        for entry in result[kind]:
+            sign = "REGRESSION" if kind == "regressions" else "improved"
+            lines.append(
+                f"  {sign:<10} {entry['figure']} [{entry['row_label']} / "
+                f"{entry['column']}]: p50 {entry['baseline_p50_s'] * 1e3:.3f} ms "
+                f"-> {entry['current_p50_s'] * 1e3:.3f} ms "
+                f"({entry['delta_pct']:+.1f}%)"
+            )
+    for skip in result["skipped"]:
+        lines.append(f"  skipped    {skip['figure']}: {skip['reason']}")
+    if not result["regressions"]:
+        lines.append("  no regressions beyond threshold")
+    return "\n".join(lines)

@@ -140,6 +140,19 @@ class ReproConfig:
             ``"admission,coalesce,engine"``); empty records every site.
             Spans are named ``site.detail``, so gating is by the part
             before the first dot.
+        obs_capture_path: Workload-capture (flight recorder) JSONL file.
+            Empty (the default) disables capture entirely — the service
+            then pays one ``None`` check per submission.
+        obs_capture_max_mb: Size bound on the capture file; exceeding it
+            rotates (``path`` -> ``path.1`` -> ...).
+        obs_capture_keep: Rotated capture files retained; older ones are
+            deleted.
+        obs_http_port: TCP port for the live introspection endpoint
+            (``/metrics``, ``/health``, ``/traces``, ``/slow``).  ``None``
+            (the default) starts no server; ``0`` binds an ephemeral
+            port.
+        obs_slow_k: Slowest retired traces retained in the slow-query
+            log, each with its critical-path breakdown.
     """
 
     seed: int = DEFAULT_SEED
@@ -186,6 +199,11 @@ class ReproConfig:
     obs_sample_rate: float = 0.01
     obs_ring_size: int = 256
     obs_sites: str = ""
+    obs_capture_path: str = ""
+    obs_capture_max_mb: float = 64.0
+    obs_capture_keep: int = 1
+    obs_http_port: int | None = None
+    obs_slow_k: int = 32
     extra: dict = field(default_factory=dict)
 
     def stream_seed(self, name: str) -> int:
@@ -361,6 +379,22 @@ def _config_from_env() -> ReproConfig:
     if obs_ring is not None:
         config.obs_ring_size = max(1, obs_ring)
     config.obs_sites = os.environ.get("REPRO_OBS_SITES", config.obs_sites)
+    # Flight-recorder knobs: workload capture, slow log, live endpoint.
+    config.obs_capture_path = os.environ.get(
+        "REPRO_OBS_CAPTURE", config.obs_capture_path
+    )
+    capture_mb = _env_number("REPRO_OBS_CAPTURE_MAX_MB", float)
+    if capture_mb is not None:
+        config.obs_capture_max_mb = max(0.001, capture_mb)
+    capture_keep = _env_number("REPRO_OBS_CAPTURE_KEEP", int)
+    if capture_keep is not None:
+        config.obs_capture_keep = max(0, capture_keep)
+    http_port = _env_number("REPRO_OBS_HTTP_PORT", int)
+    if http_port is not None and 0 <= http_port <= 65535:
+        config.obs_http_port = http_port
+    slow_k = _env_number("REPRO_OBS_SLOW_K", int)
+    if slow_k is not None:
+        config.obs_slow_k = max(0, slow_k)
     return config
 
 

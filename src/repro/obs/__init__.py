@@ -1,4 +1,4 @@
-"""Unified observability: metrics registry, per-query tracing, EXPLAIN.
+"""Unified observability: metrics, tracing, EXPLAIN, flight recorder.
 
 ``repro.obs`` correlates what the sixteen per-layer ``*Stats`` classes
 could only count in isolation:
@@ -13,12 +13,24 @@ could only count in isolation:
 * :mod:`~repro.obs.explain` — the ``explain_analyze=True`` per-query
   span tree,
 * :mod:`~repro.obs.adapter` — publishes the existing ``*Stats``
-  snapshots into the registry without changing their APIs.
+  snapshots into the registry without changing their APIs,
+* :mod:`~repro.obs.capture` / :mod:`~repro.obs.replay` — the flight
+  recorder: JSONL workload capture with result digests, and
+  deterministic paced/closed replay verifying them bit-identical,
+* :mod:`~repro.obs.critical_path` — per-trace self-time attribution and
+  the bounded :class:`SlowQueryLog` behind ``service.slow_queries()``,
+* :mod:`~repro.obs.server` — the stdlib HTTP introspection endpoint
+  (``/metrics``, ``/health``, ``/traces``, ``/slow``).
 
 Knobs: ``REPRO_OBS_ENABLED``, ``REPRO_OBS_SAMPLE``, ``REPRO_OBS_RING``,
-``REPRO_OBS_SITES`` (see ``docs/OBSERVABILITY.md``).
+``REPRO_OBS_SITES``, ``REPRO_OBS_CAPTURE``, ``REPRO_OBS_CAPTURE_MAX_MB``,
+``REPRO_OBS_CAPTURE_KEEP``, ``REPRO_OBS_HTTP_PORT``, ``REPRO_OBS_SLOW_K``
+(see ``docs/OBSERVABILITY.md``).
 """
 
+from importlib import import_module
+
+from .critical_path import SlowQueryLog, critical_path, summarize_trace
 from .explain import render_explain
 from .export import prometheus_text, traces_jsonl
 from .metrics import (
@@ -29,6 +41,7 @@ from .metrics import (
     registry,
     reset_registry,
 )
+from .server import ObservabilityServer
 from .trace import (
     Span,
     Trace,
@@ -38,20 +51,56 @@ from .trace import (
     span,
 )
 
+# capture/replay pull in the plan algebra, which is not importable while
+# the core packages are still initializing — and ``repro.obs`` *is*
+# imported that early (the breaker registry publishes metrics).  Lazy
+# module-level attributes (PEP 562) break the cycle without making
+# callers spell out submodules.
+_LAZY = {
+    "UnsupportedPlanError": ".capture",
+    "WorkloadRecorder": ".capture",
+    "load_workload": ".capture",
+    "plan_from_dict": ".capture",
+    "plan_to_dict": ".capture",
+    "result_digest": ".capture",
+    "WorkloadReplayer": ".replay",
+    "replay_workload": ".replay",
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(import_module(target, __name__), name)
+
+
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ObservabilityServer",
+    "SlowQueryLog",
     "Span",
     "Trace",
     "Tracer",
+    "UnsupportedPlanError",
+    "WorkloadRecorder",
+    "WorkloadReplayer",
+    "critical_path",
     "current_trace",
+    "load_workload",
+    "plan_from_dict",
+    "plan_to_dict",
     "prometheus_text",
     "query_scope",
     "registry",
     "render_explain",
+    "replay_workload",
     "reset_registry",
+    "result_digest",
     "span",
+    "summarize_trace",
     "traces_jsonl",
 ]

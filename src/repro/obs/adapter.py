@@ -28,6 +28,34 @@ def _sanitize(part: str) -> str:
     return _NAME_OK.sub("_", str(part))
 
 
+#: ``# HELP`` text for the metrics with live (non-snapshot) semantics.
+METRIC_HELP = {
+    "repro_queries_total": "Queries retired by the service, by outcome.",
+    "repro_query_latency_seconds": "End-to-end query latency in seconds.",
+    "repro_obs_traces_retained": "Completed traces currently in the ring.",
+    "repro_obs_traces_sampled": "Submissions that were sampled into a trace.",
+    "repro_obs_submissions_considered": (
+        "Submissions that reached the sampling decision."
+    ),
+    "repro_capture_records": "Workload records appended by the recorder.",
+    "repro_capture_unsupported_plans": (
+        "Captured queries whose plan the wire format cannot express."
+    ),
+    "repro_capture_rotations": "Capture file rotations performed.",
+    "repro_capture_bytes": "Bytes in the current capture file generation.",
+    "repro_slow_queries_retained": "Entries currently in the slow-query log.",
+    "repro_breakers_open_total": "Circuit breakers currently not closed.",
+    "repro_breaker_open": "Whether this access path's breaker is open (0/1).",
+}
+
+
+def describe_metrics(reg: MetricsRegistry | None = None) -> None:
+    """Register ``# HELP`` strings for the well-known metric names."""
+    reg = registry() if reg is None else reg
+    for name, text in METRIC_HELP.items():
+        reg.describe(name, text)
+
+
 def publish_nested(
     reg: MetricsRegistry, prefix: str, mapping: dict, **labels
 ) -> int:
@@ -87,3 +115,10 @@ def publish_service(service, reg: MetricsRegistry | None = None) -> None:
         reg.gauge("repro_obs_submissions_considered").set(
             float(tracer.considered)
         )
+    recorder = getattr(service, "recorder", None)
+    if recorder is not None:
+        publish_nested(reg, "repro_capture", recorder.stats_snapshot())
+    slow_log = getattr(service, "slow_log", None)
+    if slow_log is not None:
+        reg.gauge("repro_slow_queries_retained").set(float(len(slow_log)))
+    describe_metrics(reg)

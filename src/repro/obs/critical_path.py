@@ -1,0 +1,181 @@
+"""Critical-path extraction and the bounded slow-query log.
+
+A retired trace is a span tree with per-span wall and thread-CPU time.
+This module answers the question an operator actually asks of a slow
+query — *where did the time go?* — in two steps:
+
+* **self-time attribution**: each span's self time is its wall time
+  minus the wall time of its children (clamped at zero; overlapping
+  concurrent children can legitimately sum past the parent).  Sorting
+  spans by self time names the stage that burned the clock rather than
+  the ancestor that merely contained it.
+* **critical path**: walk from the root, at each level descending into
+  the child with the largest wall time.  That chain is the sequence of
+  stages whose speedup would shorten the query.
+
+:class:`SlowQueryLog` keeps the top-K slowest retired traces as
+pre-computed summaries (a min-heap on wall time), so the service can
+expose "what were the worst queries lately, and why" from memory with
+no trace re-walking at read time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+from .trace import Trace
+
+
+def _as_spans(trace) -> tuple[list[dict], float]:
+    """Normalize a :class:`Trace` or its ``to_dict`` form to (spans, epoch)."""
+    if isinstance(trace, Trace):
+        data = trace.to_dict()
+    else:
+        data = trace
+    return list(data.get("spans", ())), float(data.get("started_at", 0.0))
+
+
+def _parent(span: dict) -> int:
+    """Parent index; the root is ``-1`` (``None`` tolerated for foreign dumps)."""
+    parent = span.get("parent")
+    return -1 if parent is None else int(parent)
+
+
+def self_times(spans: list[dict]) -> list[float]:
+    """Per-span self time: wall minus the sum of direct children's wall."""
+    child_wall = [0.0] * len(spans)
+    for span in spans:
+        parent = _parent(span)
+        if 0 <= parent < len(spans):
+            child_wall[parent] += span.get("wall_s") or 0.0
+    return [
+        max(0.0, (span.get("wall_s") or 0.0) - child_wall[i])
+        for i, span in enumerate(spans)
+    ]
+
+
+def critical_path(trace) -> list[dict]:
+    """Root-to-leaf chain following the largest-wall child at each level.
+
+    Accepts a :class:`Trace` or its ``to_dict`` form.  Each entry:
+    ``{name, index, wall_s, cpu_s, self_s, start_s}``.
+    """
+    spans, _ = _as_spans(trace)
+    if not spans:
+        return []
+    selfs = self_times(spans)
+    children: dict[int, list[int]] = {}
+    root = 0
+    for i, span in enumerate(spans):
+        parent = _parent(span)
+        if parent < 0:
+            root = i
+        else:
+            children.setdefault(parent, []).append(i)
+    path = []
+    node = root
+    while True:
+        span = spans[node]
+        path.append(
+            {
+                "name": span.get("name"),
+                "index": node,
+                "wall_s": span.get("wall_s") or 0.0,
+                "cpu_s": span.get("cpu_s") or 0.0,
+                "self_s": selfs[node],
+                "start_s": span.get("start_s") or 0.0,
+            }
+        )
+        kids = children.get(node)
+        if not kids:
+            return path
+        node = max(kids, key=lambda i: spans[i].get("wall_s") or 0.0)
+
+
+def summarize_trace(trace) -> dict:
+    """Slow-log entry for one retired trace.
+
+    ``hotspots`` are the top-3 spans by self time; ``critical_path`` the
+    largest-wall root-to-leaf chain.  All numbers are precomputed so the
+    summary is cheap to serve.
+    """
+    spans, started_at = _as_spans(trace)
+    selfs = self_times(spans)
+    root = next(
+        (s for s in spans if _parent(s) < 0), spans[0] if spans else {}
+    )
+    hotspots = sorted(
+        (
+            {
+                "name": span.get("name"),
+                "index": i,
+                "self_s": selfs[i],
+                "wall_s": span.get("wall_s") or 0.0,
+                "cpu_s": span.get("cpu_s") or 0.0,
+            }
+            for i, span in enumerate(spans)
+        ),
+        key=lambda h: h["self_s"],
+        reverse=True,
+    )[:3]
+    return {
+        "query_id": (trace.query_id if isinstance(trace, Trace) else trace.get("query_id")),
+        "tag": (trace.tag if isinstance(trace, Trace) else trace.get("tag")),
+        "started_at": started_at,
+        "wall_s": root.get("wall_s") or 0.0,
+        "cpu_s": root.get("cpu_s") or 0.0,
+        "spans": len(spans),
+        "critical_path": critical_path(trace),
+        "hotspots": hotspots,
+    }
+
+
+class SlowQueryLog:
+    """Bounded top-K slowest-query log over retired traces.
+
+    ``offer(trace)`` summarizes the trace *at retirement* (so the heap
+    holds plain dicts, not live traces) and keeps it only if it ranks in
+    the current top K by root wall time.  ``snapshot()`` returns the
+    entries slowest-first.  Thread-safe; O(log K) per offer.
+    """
+
+    def __init__(self, k: int = 32) -> None:
+        self.k = max(0, int(k))
+        self._heap: list[tuple[float, int, dict]] = []
+        self._tiebreak = itertools.count()
+        self._lock = threading.Lock()
+        self.offered = 0
+
+    def offer(self, trace) -> bool:
+        """Consider a retired trace; returns True if it entered the log."""
+        if self.k == 0:
+            return False
+        spans, _ = _as_spans(trace)
+        if not spans:
+            return False
+        root_wall = next(
+            (s.get("wall_s") or 0.0 for s in spans if _parent(s) < 0),
+            0.0,
+        )
+        with self._lock:
+            self.offered += 1
+            if len(self._heap) >= self.k and root_wall <= self._heap[0][0]:
+                return False
+            entry = (root_wall, next(self._tiebreak), summarize_trace(trace))
+            if len(self._heap) < self.k:
+                heapq.heappush(self._heap, entry)
+            else:
+                heapq.heapreplace(self._heap, entry)
+            return True
+
+    def snapshot(self) -> list[dict]:
+        """Current slow-log entries, slowest first."""
+        with self._lock:
+            entries = sorted(self._heap, key=lambda e: (-e[0], e[1]))
+        return [e[2] for e in entries]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)

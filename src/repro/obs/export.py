@@ -4,7 +4,7 @@ Both formats are plain strings so they can go to a file, a socket, or a
 test assertion without any transport dependency:
 
 * :func:`prometheus_text` renders a :class:`~repro.obs.metrics.MetricsRegistry`
-  in the text exposition format (``# TYPE`` headers, ``name{labels} value``
+  in the text exposition format (``# HELP``/``# TYPE`` headers, ``name{labels} value``
   samples; histograms expose ``_count``/``_sum`` plus ``quantile``-labelled
   samples, summary-style);
 * :func:`traces_jsonl` renders traces one JSON object per line — the
@@ -14,6 +14,7 @@ test assertion without any transport dependency:
 from __future__ import annotations
 
 import json
+import math
 
 from .metrics import Histogram, MetricsRegistry
 
@@ -25,6 +26,22 @@ def _escape(value: str) -> str:
         .replace('"', '\\"')
         .replace("\n", "\\n")
     )
+
+
+def _help_escape(value: str) -> str:
+    # HELP text escapes backslash and newline only (no quotes), per the
+    # exposition format.
+    return str(value).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _help_text(registry: MetricsRegistry, metric) -> str:
+    """Help string for a metric: registered description, else the first
+    line of the metric class's docstring."""
+    text = registry.help_for(metric.name)
+    if not text:
+        doc = type(metric).__doc__ or ""
+        text = doc.strip().splitlines()[0] if doc.strip() else metric.kind
+    return _help_escape(text)
 
 
 def _label_text(labels: dict, extra: dict | None = None) -> str:
@@ -46,7 +63,12 @@ def _format_value(value) -> str:
         return "1" if value else "0"
     if isinstance(value, int):
         return str(value)
-    return repr(float(value))
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
 
 
 def prometheus_text(registry: MetricsRegistry) -> str:
@@ -58,6 +80,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             typed.add(metric.name)
             # Histograms export quantiles, so they type as "summary".
             kind = "summary" if metric.kind == "histogram" else metric.kind
+            lines.append(f"# HELP {metric.name} {_help_text(registry, metric)}")
             lines.append(f"# TYPE {metric.name} {kind}")
         if isinstance(metric, Histogram):
             snap = metric.snapshot()

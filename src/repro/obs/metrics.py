@@ -138,7 +138,11 @@ class Histogram:
         value = float(value)
         if value != value or value < 0:  # NaN / negative: not a duration
             return
-        index = self._bucket(value)
+        # +inf clamps to the overflow bucket explicitly (frexp(inf) would
+        # otherwise hand back a nonsense exponent).
+        index = (
+            len(self._counts) - 1 if math.isinf(value) else self._bucket(value)
+        )
         with self._lock:
             self._counts[index] += 1
             self._count += 1
@@ -201,7 +205,22 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[tuple, object] = {}
+        self._help: dict[str, str] = {}
         self._lock = threading.Lock()
+
+    def describe(self, name: str, text: str) -> None:
+        """Attach a ``# HELP`` string to a metric name.
+
+        Idempotent; the last description wins.  Metrics without one fall
+        back to their class docstring's first line in the exposition.
+        """
+        with self._lock:
+            self._help[name] = " ".join(str(text).split())
+
+    def help_for(self, name: str) -> str | None:
+        """The registered help string for ``name``, if any."""
+        with self._lock:
+            return self._help.get(name)
 
     def _get_or_create(self, cls, name: str, labels: dict):
         key = (name, _label_key(labels))

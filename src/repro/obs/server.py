@@ -1,0 +1,126 @@
+"""Live introspection endpoint: a stdlib HTTP server over one service.
+
+A :class:`ObservabilityServer` runs a ``ThreadingHTTPServer`` on a
+daemon thread and answers four GET routes from the service's existing
+read-side APIs — no new state, no write paths:
+
+========== ============================================= ==================
+route      body                                          content type
+========== ============================================= ==================
+/metrics   Prometheus text exposition (HELP+TYPE)        text/plain; version=0.0.4
+/health    ``ServiceHealth.as_dict()``                   application/json
+/traces    trace ring, one JSON object per line          application/x-ndjson
+/slow      slow-query log entries, slowest first         application/json
+========== ============================================= ==================
+
+Binding to port 0 (the default) picks a free port, which tests and
+examples read back from :attr:`ObservabilityServer.port`.  The handler
+holds only a weak-ish reference through the server object; closing the
+server (or shutting the service down) stops the thread.  Scrapes run
+concurrently with query traffic by construction — every API they call is
+already thread-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+#: Prometheus text exposition content type.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The service is attached to the *server* object by ObservabilityServer.
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.repro_service  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                body = service.metrics().encode("utf-8")
+                ctype = METRICS_CONTENT_TYPE
+            elif path == "/health":
+                body = json.dumps(
+                    service.health().as_dict(), sort_keys=True
+                ).encode("utf-8")
+                ctype = "application/json"
+            elif path == "/traces":
+                body = service.traces_jsonl().encode("utf-8")
+                ctype = "application/x-ndjson"
+            elif path == "/slow":
+                body = json.dumps(
+                    service.slow_queries(), sort_keys=True
+                ).encode("utf-8")
+                ctype = "application/json"
+            else:
+                self._respond(404, "text/plain", b"not found\n")
+                return
+        except Exception as exc:  # noqa: BLE001 - a scrape must not crash
+            self._respond(
+                500, "text/plain", f"{type(exc).__name__}: {exc}\n".encode()
+            )
+            return
+        self._respond(200, ctype, body)
+
+    def _respond(self, status: int, ctype: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args) -> None:
+        # Introspection scrapes should not spam the service's stderr.
+        pass
+
+
+class ObservabilityServer:
+    """Background HTTP endpoint exposing one service's observability.
+
+    Usable directly or via ``QueryService.serve_http()`` /
+    ``obs_http_port``.  ``close()`` is idempotent and joins the serving
+    thread.
+    """
+
+    def __init__(self, service, *, host: str = "127.0.0.1", port: int = 0):
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.repro_service = service  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when constructed with port 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -161,6 +161,14 @@ class Trace:
     def to_dict(self) -> dict:
         with self._lock:
             spans = [s.to_dict() for s in self.spans]
+        # Absolute wall-clock anchor per span: dumps from different
+        # processes share no perf_counter origin, but started_at is epoch
+        # time, so started_at + start_s time-aligns them during replay
+        # analysis.
+        for span_dict in spans:
+            span_dict["start_at"] = round(
+                self.started_at + span_dict["start_s"], 6
+            )
         return {
             "query_id": self.query_id,
             "tag": self.tag,

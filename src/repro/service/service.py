@@ -41,9 +41,12 @@ from ..core.cost_model import quantized_recall_estimate
 from ..core.quantized_join import quantized_eselect
 from ..errors import DeadlineExceededError, ServiceError, SessionClosedError
 from ..obs.adapter import publish_service
+from ..obs.capture import WorkloadRecorder
+from ..obs.critical_path import SlowQueryLog
 from ..obs.explain import render_explain
 from ..obs.export import prometheus_text, traces_jsonl
 from ..obs.metrics import registry as metrics_registry
+from ..obs.server import ObservabilityServer
 from ..obs.trace import Tracer, current_trace, query_scope, span
 from ..query.builder import Engine, QueryBuilder
 from ..relational.table import Table
@@ -241,6 +244,14 @@ class QueryService:
         obs_ring_size: completed traces retained for
             :meth:`recent_traces`.
         obs_sites: comma-separated span-site allowlist (empty: all).
+        capture_path: JSONL workload-capture file; empty/``None`` (the
+            default) disables the flight recorder entirely.
+        capture_max_mb: capture file size bound before rotation.
+        capture_keep: rotated capture generations retained.
+        slow_k: slow-query log capacity (top-K slowest retired traces).
+        http_port: start the live introspection endpoint on this port
+            (``0`` picks a free one; ``None``, the default, serves
+            nothing until :meth:`serve_http` is called).
 
     Every knob defaults to the ``REPRO_SERVICE_*`` / ``REPRO_QOS_*`` /
     ``REPRO_OBS_*`` configuration.
@@ -265,6 +276,11 @@ class QueryService:
         obs_sample_rate: float | None = None,
         obs_ring_size: int | None = None,
         obs_sites: str | None = None,
+        capture_path: str | None = None,
+        capture_max_mb: float | None = None,
+        capture_keep: int | None = None,
+        slow_k: int | None = None,
+        http_port: int | None = None,
     ) -> None:
         config = get_config()
         self.engine = engine
@@ -366,6 +382,29 @@ class QueryService:
             "repro_query_latency_seconds"
         )
         self._query_ids = itertools.count(1)
+        self.slow_log = SlowQueryLog(
+            config.obs_slow_k if slow_k is None else slow_k
+        )
+        capture = (
+            config.obs_capture_path if capture_path is None else capture_path
+        )
+        self.recorder: WorkloadRecorder | None = (
+            WorkloadRecorder(
+                capture,
+                max_bytes=(
+                    None
+                    if capture_max_mb is None
+                    else int(capture_max_mb * 2**20)
+                ),
+                keep=capture_keep,
+            )
+            if capture
+            else None
+        )
+        self._http_server: ObservabilityServer | None = None
+        port = config.obs_http_port if http_port is None else http_port
+        if port is not None:
+            self.serve_http(port=port)
 
     # ------------------------------------------------------------------
     # Sessions
@@ -464,16 +503,40 @@ class QueryService:
                 self.qos.with_deadline += 1
         query_id = f"q{next(self._query_ids)}"
         trace = self.tracer.maybe_trace(query_id, tag, force=explain_analyze)
+        recorder = self.recorder
+        arrival_s = recorder.offset() if recorder is not None else 0.0
+        response = None
+        error: BaseException | None = None
         try:
             with query_scope(trace):
                 response = self._submit_scoped(
                     plan, qos, tag, start, timeout_s=timeout_s
                 )
+        except BaseException as exc:
+            error = exc
+            raise
         finally:
             # Shed / rejected / failed queries retire into the ring too —
             # those are exactly the traces an operator wants to see.
             if trace is not None:
                 self.tracer.record(trace)
+                self.slow_log.offer(trace)
+            if recorder is not None:
+                try:
+                    recorder.record(
+                        plan=plan,
+                        tag=tag,
+                        query_id=query_id,
+                        arrival_s=arrival_s,
+                        deadline_s=deadline_s,
+                        priority=priority,
+                        min_recall=min_recall,
+                        response=response,
+                        error=error,
+                    )
+                except Exception:
+                    # A full disk must degrade capture, never serving.
+                    pass
         response.query_id = query_id
         response.trace = trace
         if explain_analyze and trace is not None:
@@ -911,6 +974,30 @@ class QueryService:
         """The trace ring as JSON-lines (one trace dict per line)."""
         return traces_jsonl(self.tracer.recent())
 
+    def slow_queries(self) -> list[dict]:
+        """Top-K slowest retired traces with their critical paths.
+
+        Each entry is a precomputed summary (wall/CPU, hotspots by self
+        time, root-to-leaf critical path), slowest first.  Populated
+        only from *traced* queries — at the default sample rate that is
+        a sample of the slow tail, not a census.
+        """
+        return self.slow_log.snapshot()
+
+    def serve_http(
+        self, *, host: str = "127.0.0.1", port: int = 0
+    ) -> ObservabilityServer:
+        """Start (or return) the live introspection endpoint.
+
+        Exposes ``/metrics``, ``/health``, ``/traces``, and ``/slow`` on
+        a daemon thread; ``port=0`` binds a free port, readable from the
+        returned server's ``.port``.  Idempotent: a second call returns
+        the running server.
+        """
+        if self._http_server is None:
+            self._http_server = ObservabilityServer(self, host=host, port=port)
+        return self._http_server
+
     def shutdown(
         self, *, drain: bool = True, timeout_s: float | None = None
     ) -> bool:
@@ -923,9 +1010,15 @@ class QueryService:
         flight (the service stays closed either way).
         """
         self._closed = True
-        if not drain:
-            return True
-        return self.admission.wait_idle(timeout_s)
+        idle = True
+        if drain:
+            idle = self.admission.wait_idle(timeout_s)
+        if self._http_server is not None:
+            self._http_server.close()
+            self._http_server = None
+        if self.recorder is not None:
+            self.recorder.close()
+        return idle
 
     def __enter__(self) -> "QueryService":
         return self

@@ -1,0 +1,187 @@
+"""Bench regression comparison: report diffing and the CLI exit code."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    compare_dirs,
+    compare_reports,
+    load_reports,
+    render_comparison,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _report(figure: str, p50s: dict[tuple, float], *, smoke: bool = False) -> dict:
+    return {
+        "figure": figure,
+        "config": {"smoke": smoke},
+        "latency": [
+            {
+                "row": i,
+                "row_label": row_label,
+                "column": column,
+                "percentiles": {"p50": p50, "p95": p50 * 2, "p99": p50 * 3, "n": 50},
+            }
+            for i, ((row_label, column), p50) in enumerate(p50s.items())
+        ],
+    }
+
+
+BASE = {"fig_x": _report("fig_x", {("64", "seconds"): 0.010, ("1", "seconds"): 0.002})}
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        result = compare_reports(BASE, BASE)
+        assert result["ok"]
+        assert result["compared"] == 2
+        assert result["regressions"] == []
+
+    def test_injected_regression_beyond_threshold_fails(self):
+        current = {
+            "fig_x": _report(
+                "fig_x", {("64", "seconds"): 0.013, ("1", "seconds"): 0.002}
+            )
+        }
+        result = compare_reports(BASE, current, threshold_pct=20.0)
+        assert not result["ok"]
+        [reg] = result["regressions"]
+        assert reg["row_label"] == "64"
+        assert reg["delta_pct"] == pytest.approx(30.0)
+        assert "REGRESSION" in render_comparison(result)
+
+    def test_regression_within_threshold_passes(self):
+        current = {
+            "fig_x": _report(
+                "fig_x", {("64", "seconds"): 0.0115, ("1", "seconds"): 0.002}
+            )
+        }
+        assert compare_reports(BASE, current, threshold_pct=20.0)["ok"]
+
+    def test_improvements_never_fail(self):
+        current = {
+            "fig_x": _report(
+                "fig_x", {("64", "seconds"): 0.004, ("1", "seconds"): 0.002}
+            )
+        }
+        result = compare_reports(BASE, current)
+        assert result["ok"]
+        assert len(result["improvements"]) == 1
+
+    def test_sub_noise_entries_skipped(self):
+        base = {"fig_x": _report("fig_x", {("1", "seconds"): 0.0001})}
+        current = {"fig_x": _report("fig_x", {("1", "seconds"): 0.0009})}
+        result = compare_reports(base, current, min_seconds=0.0005)
+        assert result["ok"]
+        assert result["compared"] == 0
+
+    def test_smoke_mismatch_skips_figure(self):
+        current = {
+            "fig_x": _report(
+                "fig_x", {("64", "seconds"): 9.0}, smoke=True
+            )
+        }
+        result = compare_reports(BASE, current)
+        assert result["ok"]
+        assert result["skipped"] == [
+            {"figure": "fig_x", "reason": "smoke_mismatch"}
+        ]
+
+    def test_missing_figures_reported_not_fatal(self):
+        result = compare_reports(BASE, {})
+        assert result["ok"]
+        assert result["skipped"][0]["reason"] == "missing_in_current"
+
+
+class TestDirsAndCli:
+    def _write(self, directory, reports):
+        directory.mkdir(parents=True, exist_ok=True)
+        for figure, report in reports.items():
+            (directory / f"BENCH_{figure}.json").write_text(
+                json.dumps(report), encoding="utf-8"
+            )
+
+    def test_load_reports_skips_garbage(self, tmp_path):
+        self._write(tmp_path, BASE)
+        (tmp_path / "BENCH_broken.json").write_text("{nope", encoding="utf-8")
+        reports = load_reports(tmp_path)
+        assert list(reports) == ["fig_x"]
+
+    def test_compare_dirs_round_trip(self, tmp_path):
+        self._write(tmp_path / "base", BASE)
+        self._write(tmp_path / "cur", BASE)
+        result = compare_dirs(tmp_path / "base", tmp_path / "cur")
+        assert result["ok"] and result["compared"] == 2
+
+    def test_cli_exits_nonzero_on_injected_regression(self, tmp_path):
+        """The acceptance criterion: >20% injected p50 regression fails."""
+        from repro.bench.__main__ import main
+
+        self._write(tmp_path / "base", BASE)
+        self._write(
+            tmp_path / "cur",
+            {
+                "fig_x": _report(
+                    "fig_x",
+                    {("64", "seconds"): 0.0125, ("1", "seconds"): 0.002},
+                )
+            },
+        )
+        out = tmp_path / "cmp.json"
+        code = main(
+            [
+                "--compare",
+                str(tmp_path / "base"),
+                "--compare-current",
+                str(tmp_path / "cur"),
+                "--compare-output",
+                str(out),
+            ]
+        )
+        assert code == 1
+        written = json.loads(out.read_text(encoding="utf-8"))
+        assert not written["ok"]
+        assert written["regressions"][0]["delta_pct"] == pytest.approx(25.0)
+
+    def test_cli_exits_zero_on_identical(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        self._write(tmp_path / "base", BASE)
+        self._write(tmp_path / "cur", BASE)
+        code = main(
+            [
+                "--compare",
+                str(tmp_path / "base"),
+                "--compare-current",
+                str(tmp_path / "cur"),
+            ]
+        )
+        assert code == 0
+
+    def test_cli_honours_threshold_flag(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        self._write(tmp_path / "base", BASE)
+        self._write(
+            tmp_path / "cur",
+            {
+                "fig_x": _report(
+                    "fig_x",
+                    {("64", "seconds"): 0.0125, ("1", "seconds"): 0.002},
+                )
+            },
+        )
+        args = [
+            "--compare",
+            str(tmp_path / "base"),
+            "--compare-current",
+            str(tmp_path / "cur"),
+            "--compare-threshold",
+        ]
+        assert main([*args, "50"]) == 0
+        assert main([*args, "10"]) == 1

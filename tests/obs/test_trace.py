@@ -147,3 +147,19 @@ class TestRing:
         assert snap["status"] == "ok"
         assert len(snap["spans"]) == 2
         assert snap["spans"][1]["attrs"] == {"rows": 2}
+
+    def test_to_dict_emits_absolute_span_starts(self):
+        trace = Trace("q2", "cli/q2")
+        with query_scope(trace):
+            with span("a"):
+                with span("b"):
+                    pass
+        snap = trace.to_dict()
+        for span_dict in snap["spans"]:
+            # start_at anchors the relative offset to wall-clock epoch
+            # time, so traces from different processes can be aligned.
+            assert span_dict["start_at"] == pytest.approx(
+                snap["started_at"] + span_dict["start_s"], abs=1e-5
+            )
+        starts = [s["start_at"] for s in snap["spans"]]
+        assert starts == sorted(starts)
