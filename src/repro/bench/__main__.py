@@ -43,6 +43,7 @@ EXPERIMENTS = {
     "fig_qos": "test_fig_qos.py",
     "fig_chaos": "test_fig_chaos.py",
     "fig_obs": "test_fig_obs.py",
+    "fig_shard": "test_fig_shard.py",
     "ablation-normalization": "test_ablation_normalization.py",
     "ablation-eselection": "test_ablation_eselection_cost.py",
     "ablation-fp16": "test_ablation_fp16.py",
@@ -138,6 +139,13 @@ def main(argv: list[str] | None = None) -> int:
         help="maximum tuples per engine morsel",
     )
     parser.add_argument(
+        "--shard-procs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard worker processes for the service scan (default: 0, off)",
+    )
+    parser.add_argument(
         "--compare",
         default=None,
         metavar="BASELINE_DIR",
@@ -200,6 +208,8 @@ def main(argv: list[str] | None = None) -> int:
         env["REPRO_BUFFER_BUDGET_MB"] = str(args.buffer_budget_mb)
     if args.morsel_rows is not None:
         env["REPRO_MORSEL_ROWS"] = str(max(1, args.morsel_rows))
+    if args.shard_procs is not None:
+        env["REPRO_SHARD_PROCS"] = str(max(0, args.shard_procs))
 
     command = [
         sys.executable,

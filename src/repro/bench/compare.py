@@ -12,6 +12,8 @@ Guardrails that keep the comparison honest:
 
 * reports whose ``smoke`` config flags differ are skipped entirely —
   smoke-scale numbers say nothing about full-scale ones;
+* reports measured at different parallelism (``threads`` or
+  ``shard_procs``) are skipped — a config change is not a perf change;
 * entries whose baseline p50 is under ``min_seconds`` are skipped — at
   sub-millisecond scale, timer and scheduler noise swamps any signal;
 * a figure present on only one side is reported but never a failure —
@@ -60,6 +62,17 @@ def _is_smoke(report: dict) -> bool:
     return bool((report.get("config") or {}).get("smoke"))
 
 
+def _parallelism(report: dict) -> tuple[int, int]:
+    """``(threads, shard_procs)`` a report was measured at.
+
+    Reports written before shard support lack ``shard_procs``; they were
+    necessarily single-process, so missing normalizes to 0 rather than
+    tripping a mismatch against an explicit-zero current report.
+    """
+    config = report.get("config") or {}
+    return (int(config.get("threads") or 0), int(config.get("shard_procs") or 0))
+
+
 def compare_reports(
     baseline: dict[str, dict],
     current: dict[str, dict],
@@ -92,6 +105,12 @@ def compare_reports(
             continue
         if _is_smoke(base) != _is_smoke(cur):
             skipped.append({"figure": figure, "reason": "smoke_mismatch"})
+            continue
+        if _parallelism(base) != _parallelism(cur):
+            # Different thread or shard-process counts measure different
+            # machines-worth of parallelism; diffing them would call a
+            # config change a perf change.
+            skipped.append({"figure": figure, "reason": "parallelism_mismatch"})
             continue
         base_idx = _latency_index(base)
         cur_idx = _latency_index(cur)

@@ -48,6 +48,11 @@ def _config_snapshot() -> dict:
         "precision": config.default_precision,
         "rerank_multiple": config.default_rerank_multiple,
         "work_stealing": config.work_stealing,
+        "shard_procs": config.shard_procs,
+        # Total OS processes doing scan work: the front door plus any
+        # shard workers.  Recorded so --compare can refuse to diff runs
+        # measured at different parallelism silently.
+        "processes": 1 + config.shard_procs,
         "smoke": os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0"),
     }
 

@@ -153,6 +153,28 @@ class ReproConfig:
             port.
         obs_slow_k: Slowest retired traces retained in the slow-query
             log, each with its critical-path breakdown.
+        shard_procs: Persistent shard worker *processes* backing the
+            coalesced shared scan.  ``0`` (the default) disables sharded
+            execution entirely — everything runs in-process exactly as
+            before.  With ``N > 0`` the service publishes column stores
+            into shared memory, partitions each base table into ``N``
+            contiguous row ranges, and fans the stacked scan out across
+            the pool; per-query heaps merge at the front door, so results
+            stay bit-identical to serial.
+        shard_min_rows: Smallest table (rows) worth fanning out across
+            shard processes; below it the per-scan dispatch/IPC overhead
+            dominates and the planner's ``shard_fanout`` term keeps the
+            scan in-process.
+        shard_start_method: ``multiprocessing`` start method for shard
+            workers.  ``"spawn"`` (the default) is the only method that
+            is safe regardless of the parent's thread activity; forks of
+            a threaded service deadlock on inherited locks.
+        shard_stall_s: Seconds without a heartbeat or reply before the
+            pool's watchdog declares a shard worker stuck and respawns
+            it (same semantics as the in-process engine watchdog).
+        shard_max_respawns: Worker respawns tolerated per pool before a
+            scan gives up sharding and falls back to the in-process
+            path.
     """
 
     seed: int = DEFAULT_SEED
@@ -204,6 +226,11 @@ class ReproConfig:
     obs_capture_keep: int = 1
     obs_http_port: int | None = None
     obs_slow_k: int = 32
+    shard_procs: int = 0
+    shard_min_rows: int = 16384
+    shard_start_method: str = "spawn"
+    shard_stall_s: float = 10.0
+    shard_max_respawns: int = 2
     extra: dict = field(default_factory=dict)
 
     def stream_seed(self, name: str) -> int:
@@ -395,6 +422,22 @@ def _config_from_env() -> ReproConfig:
     slow_k = _env_number("REPRO_OBS_SLOW_K", int)
     if slow_k is not None:
         config.obs_slow_k = max(0, slow_k)
+    # Sharded-execution knobs: pool size, fan-out floor, watchdog.
+    shard_procs = _env_number("REPRO_SHARD_PROCS", int)
+    if shard_procs is not None:
+        config.shard_procs = max(0, shard_procs)
+    shard_min_rows = _env_number("REPRO_SHARD_MIN_ROWS", int)
+    if shard_min_rows is not None:
+        config.shard_min_rows = max(0, shard_min_rows)
+    start_method = os.environ.get("REPRO_SHARD_START_METHOD", "")
+    if start_method:
+        config.shard_start_method = start_method
+    shard_stall = _env_number("REPRO_SHARD_STALL_S", float)
+    if shard_stall is not None:
+        config.shard_stall_s = max(0.0, shard_stall)
+    shard_respawns = _env_number("REPRO_SHARD_MAX_RESPAWNS", int)
+    if shard_respawns is not None:
+        config.shard_max_respawns = max(0, shard_respawns)
     return config
 
 

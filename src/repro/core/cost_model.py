@@ -53,6 +53,11 @@ class CostParams:
     #: Index probe constants: per-hop cost and beam width multiplier.
     probe_hop: float = 8.0
     probe_beam: float = 1.0
+    #: Fixed per-scan cost of fanning out to one shard worker process:
+    #: task encode, pipe round-trip, heap merge.  Expressed in the same
+    #: sequential-access units as everything else; calibrated so tables
+    #: below ~10k rows never leave the process.
+    shard_dispatch: float = 4000.0
 
     def validate(self) -> None:
         values = {
@@ -63,6 +68,7 @@ class CostParams:
             "scalar_penalty": self.scalar_penalty,
             "probe_hop": self.probe_hop,
             "probe_beam": self.probe_beam,
+            "shard_dispatch": self.shard_dispatch,
         }
         for name, v in values.items():
             if v <= 0:
@@ -109,6 +115,52 @@ def tensor_join_cost(
     pairwise = n_left * n_right * (params.access + c)
     model = (n_left + n_right) * params.model
     return pairwise + model
+
+
+def shard_fanout_cost(
+    n_rows: int,
+    n_queries: int,
+    dim: int,
+    n_shards: int,
+    params: CostParams,
+) -> float:
+    """Cost of the coalesced scan fanned out across ``n_shards`` processes.
+
+    The stacked GEMM over the shared column store parallelizes perfectly
+    across disjoint row ranges, so scan compute divides by the fan-out;
+    what does not divide is the fixed per-shard dispatch term (task
+    encode, pipe round-trip, heap merge back at the front door).  With
+    ``n_shards == 1`` this degenerates to the in-process scan cost.
+    """
+    c = params.compute_per_dim * dim * params.gemm_efficiency
+    scan = n_queries * n_rows * (params.access + c)
+    if n_shards <= 1:
+        return scan
+    return scan / n_shards + n_shards * params.shard_dispatch
+
+
+def choose_shard_fanout(
+    n_rows: int,
+    n_queries: int,
+    dim: int,
+    n_shards: int,
+    *,
+    params: CostParams | None = None,
+    min_rows: int = 0,
+) -> int:
+    """Shards worth using for one coalesced scan (``1`` means stay serial).
+
+    Compares the fanned-out cost against the in-process scan and refuses
+    to shard tables under ``min_rows`` outright — for tiny tables the
+    dispatch overhead dominates any conceivable GEMM win, and the config
+    floor saves computing the model at all.
+    """
+    params = params or CostParams()
+    if n_shards <= 1 or n_rows < max(min_rows, 1):
+        return 1
+    serial = shard_fanout_cost(n_rows, n_queries, dim, 1, params)
+    fanned = shard_fanout_cost(n_rows, n_queries, dim, n_shards, params)
+    return n_shards if fanned < serial else 1
 
 
 def index_probe_cost(

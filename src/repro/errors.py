@@ -134,3 +134,14 @@ class DeadlineExceededError(ServiceError):
     execution slot frees up, and at dispatch when the execution-time
     estimate proves the deadline cannot be met even by the degraded
     (quantized prescreen-only) path."""
+
+
+class ShardError(ServiceError):
+    """The shard-process pool failed past its respawn budget.
+
+    Raised when a coalesced scan cannot complete on the worker pool —
+    every raise site has already exhausted watchdog respawns.  The
+    coalescer treats it as a signal to fall back to the in-process scan,
+    which is exact, so queries survive a wedged pool at reduced
+    throughput rather than failing.
+    """

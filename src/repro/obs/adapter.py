@@ -46,6 +46,20 @@ METRIC_HELP = {
     "repro_slow_queries_retained": "Entries currently in the slow-query log.",
     "repro_breakers_open_total": "Circuit breakers currently not closed.",
     "repro_breaker_open": "Whether this access path's breaker is open (0/1).",
+    "repro_shard_procs": "Shard worker processes in the pool.",
+    "repro_shard_alive": "Shard worker processes currently alive.",
+    "repro_shard_scans": "Coalesced scans fanned out across the pool.",
+    "repro_shard_declined": (
+        "Scans the fan-out cost model kept in-process (table too small)."
+    ),
+    "repro_shard_publishes": "Column-store publishes into shared memory.",
+    "repro_shard_segments": "Shared-memory segments currently published.",
+    "repro_shard_rows_scanned": "Rows scanned by shard workers, summed.",
+    "repro_shard_worker_deaths": "Shard worker processes found dead.",
+    "repro_shard_stalls": "Shard workers respawned for heartbeat stalls.",
+    "repro_shard_respawns": "Shard worker respawns performed.",
+    "repro_shard_reenqueued": "Shard tasks re-dispatched after a respawn.",
+    "repro_shard_errors": "Pool scans abandoned to the in-process path.",
 }
 
 

@@ -43,12 +43,30 @@ def _parent(span: dict) -> int:
     return -1 if parent is None else int(parent)
 
 
+def _positions(spans: list[dict]) -> dict[int, int]:
+    """Span index -> list position.
+
+    Parent references name the span's recorded ``index``, which equals
+    its list position only while the list is in recording order.  Spans
+    can legitimately arrive out of order — shard workers report
+    asynchronously, and :func:`~repro.obs.export.traces_jsonl` sorts by
+    start time — so every consumer resolves parents through this map
+    instead of trusting positions.
+    """
+    return {int(s.get("index", i)): i for i, s in enumerate(spans)}
+
+
 def self_times(spans: list[dict]) -> list[float]:
-    """Per-span self time: wall minus the sum of direct children's wall."""
+    """Per-span self time: wall minus the sum of direct children's wall.
+
+    Returned in list order (parallel to ``spans``), whatever order the
+    spans happen to be in.
+    """
+    pos = _positions(spans)
     child_wall = [0.0] * len(spans)
     for span in spans:
-        parent = _parent(span)
-        if 0 <= parent < len(spans):
+        parent = pos.get(_parent(span), -1)
+        if parent >= 0:
             child_wall[parent] += span.get("wall_s") or 0.0
     return [
         max(0.0, (span.get("wall_s") or 0.0) - child_wall[i])
@@ -66,10 +84,11 @@ def critical_path(trace) -> list[dict]:
     if not spans:
         return []
     selfs = self_times(spans)
+    pos = _positions(spans)
     children: dict[int, list[int]] = {}
     root = 0
     for i, span in enumerate(spans):
-        parent = _parent(span)
+        parent = pos.get(_parent(span), -1)
         if parent < 0:
             root = i
         else:
@@ -81,7 +100,7 @@ def critical_path(trace) -> list[dict]:
         path.append(
             {
                 "name": span.get("name"),
-                "index": node,
+                "index": int(span.get("index", node)),
                 "wall_s": span.get("wall_s") or 0.0,
                 "cpu_s": span.get("cpu_s") or 0.0,
                 "self_s": selfs[node],
@@ -110,7 +129,7 @@ def summarize_trace(trace) -> dict:
         (
             {
                 "name": span.get("name"),
-                "index": i,
+                "index": int(span.get("index", i)),
                 "self_s": selfs[i],
                 "wall_s": span.get("wall_s") or 0.0,
                 "cpu_s": span.get("cpu_s") or 0.0,

@@ -106,10 +106,28 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _ordered_trace_dict(trace) -> dict:
+    """``to_dict`` with spans in deterministic ``(start_s, index)`` order.
+
+    Shard workers report spans asynchronously, so recording order is not
+    reproducible across runs; sorting here keeps exported JSONL stable.
+    Parent references use each span's ``index`` field (not its list
+    position), so reordering does not corrupt the tree — see
+    :mod:`repro.obs.critical_path`.
+    """
+    data = dict(trace.to_dict() if not isinstance(trace, dict) else trace)
+    spans = list(data.get("spans", ()))
+    data["spans"] = sorted(
+        spans,
+        key=lambda s: (s.get("start_s") or 0.0, int(s.get("index", 0))),
+    )
+    return data
+
+
 def traces_jsonl(traces) -> str:
     """One JSON object per line for each trace (oldest first)."""
     lines = [
-        json.dumps(trace.to_dict(), sort_keys=True, default=str)
+        json.dumps(_ordered_trace_dict(trace), sort_keys=True, default=str)
         for trace in traces
     ]
     return "\n".join(lines) + ("\n" if lines else "")

@@ -64,12 +64,58 @@ class CatalogEntry:
         return self.stats[name]
 
 
+@dataclass(frozen=True)
+class ShardMap:
+    """Contiguous row-range partitioning of one registered table version.
+
+    Extends the catalog's per-table versioning down to row ranges: the map
+    is valid exactly as long as ``catalog.version(table_name) == version``,
+    so anything holding shard-local state (published shared-memory
+    segments, per-shard heaps) can key on ``(table_name, version,
+    n_shards)`` and be invalidated by re-registration for free.
+
+    Ranges are half-open ``[start, stop)``, cover ``[0, n_rows)`` exactly
+    once in ascending order, and are balanced to within one row — so a
+    shard-by-shard scan visits rows in the same ascending order as a
+    serial scan, which is what keeps merged tie-breaks bit-identical.
+    """
+
+    table_name: str
+    version: int
+    n_rows: int
+    ranges: tuple[tuple[int, int], ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.ranges)
+
+    @classmethod
+    def build(
+        cls, table_name: str, version: int, n_rows: int, n_shards: int
+    ) -> "ShardMap":
+        if n_shards < 1:
+            raise SchemaError(f"n_shards must be >= 1, got {n_shards}")
+        if n_rows < 0:
+            raise SchemaError(f"n_rows must be >= 0, got {n_rows}")
+        bounds = np.linspace(0, n_rows, n_shards + 1).astype(np.int64)
+        ranges = tuple(
+            (int(bounds[i]), int(bounds[i + 1])) for i in range(n_shards)
+        )
+        return cls(
+            table_name=table_name,
+            version=version,
+            n_rows=n_rows,
+            ranges=ranges,
+        )
+
+
 class Catalog:
     """Named registry of base tables."""
 
     def __init__(self) -> None:
         self._entries: dict[str, CatalogEntry] = {}
         self._versions: dict[str, int] = {}
+        self._shard_maps: dict[tuple[str, int, int], ShardMap] = {}
 
     def register(self, name: str, table: Table, *, replace: bool = False) -> None:
         if name in self._entries and not replace:
@@ -103,6 +149,24 @@ class Catalog:
 
     def cardinality(self, name: str) -> int:
         return self.get(name).num_rows
+
+    def shard_map(self, name: str, n_shards: int) -> ShardMap:
+        """Row-range partitioning of ``name`` at its current version.
+
+        Cached by ``(name, version, n_shards)``: re-registering a table
+        bumps its version, so stale maps are never returned and holders
+        can compare ``map.version`` against :meth:`version` to detect
+        invalidation.
+        """
+        version = self.version(name)
+        key = (name, version, int(n_shards))
+        cached = self._shard_maps.get(key)
+        if cached is None:
+            cached = ShardMap.build(
+                name, version, self.cardinality(name), int(n_shards)
+            )
+            self._shard_maps[key] = cached
+        return cached
 
     def names(self) -> list[str]:
         return sorted(self._entries)

@@ -28,6 +28,8 @@ class ServiceHealth:
         faults: active fault-injector stats (empty when disarmed).
         qos: shed/degrade/deadline counters from the QoS layer.
         service: completed/failed/shed counters from the service proper.
+        shard: shard-process pool health (procs/alive/deaths/respawns);
+            empty when sharded execution is disabled.
     """
 
     status: str = "ok"
@@ -38,6 +40,7 @@ class ServiceHealth:
     faults: dict = field(default_factory=dict)
     qos: dict = field(default_factory=dict)
     service: dict = field(default_factory=dict)
+    shard: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -49,4 +52,5 @@ class ServiceHealth:
             "faults": dict(self.faults),
             "qos": dict(self.qos),
             "service": dict(self.service),
+            "shard": dict(self.shard),
         }

@@ -45,7 +45,7 @@ from ..core.eselect import (
     exact_threshold_select,
     exact_topk_select,
 )
-from ..errors import ServiceError
+from ..errors import ServiceError, ShardError
 from ..obs.trace import span
 from ..relational.column import Column
 from ..relational.schema import DataType, Field as SchemaField
@@ -160,6 +160,10 @@ class CoalescerStats:
     max_batch: int = 0
     shared_scan_blocks: int = 0
     fallbacks: int = 0
+    #: Groups whose shared scan ran fanned out on the shard-process pool.
+    sharded_groups: int = 0
+    #: Groups that meant to shard but fell back in-process (pool error).
+    shard_fallbacks: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -169,6 +173,8 @@ class CoalescerStats:
             "max_batch": self.max_batch,
             "shared_scan_blocks": self.shared_scan_blocks,
             "fallbacks": self.fallbacks,
+            "sharded_groups": self.sharded_groups,
+            "shard_fallbacks": self.shard_fallbacks,
         }
 
 
@@ -218,6 +224,10 @@ class CoalescingScheduler:
         self._groups: dict[tuple, _Group] = {}
         self._lock = threading.Lock()
         self.stats = CoalescerStats()
+        #: Optional :class:`~repro.shard.ShardPool`; when set, group scans
+        #: big enough to clear the fan-out cost model run on worker
+        #: processes instead of this thread (service-attached).
+        self.shard_pool = None
 
     def stats_snapshot(self) -> dict:
         """Consistent counter copy taken under the coalescer lock."""
@@ -399,9 +409,41 @@ class CoalescingScheduler:
         # per-query selection (the same superset either way).
         all_topk = len(topk_rows) == len(queries)
         block_rows = self._block_rows(ctx, len(queries))
-        starts = list(range(0, n, block_rows))
+
+        # Fan out to the shard-process pool when one is attached and the
+        # cost model says the table is big enough to amortize dispatch.
+        # The pool returns the same artifacts the in-process pass builds
+        # (merged heap + threshold hit pools), so everything downstream —
+        # floor guard, exact rescore, demux — is shared between paths,
+        # and a pool failure (ShardError) degrades to the in-process scan
+        # rather than failing queries.
+        shard_res = None
+        if self.shard_pool is not None and (heap is not None or thr_rows):
+            try:
+                shard_res = self.shard_pool.scan_candidates(
+                    key,
+                    queries,
+                    n_rows=n,
+                    topk_rows=topk_rows,
+                    kpad=max(kpad, 1),
+                    thr_rows=thr_rows,
+                    thr_floors=thresholds,
+                    block_rows=block_rows,
+                )
+            except ShardError:
+                with self._lock:
+                    self.stats.shard_fallbacks += 1
+                shard_res = None
+
+        starts: list[int] = []
+        if shard_res is None:
+            starts = list(range(0, n, block_rows))
         with self._lock:
-            self.stats.shared_scan_blocks += len(starts)
+            self.stats.shared_scan_blocks += (
+                shard_res.blocks if shard_res is not None else len(starts)
+            )
+            if shard_res is not None:
+                self.stats.sharded_groups += 1
 
         def scan_block(start: int, floor: np.ndarray | None):
             stop = min(start + block_rows, n)
@@ -430,7 +472,11 @@ class CoalescingScheduler:
                 if len(hits):
                     pools[j].append(hits)
 
-        if ctx.engine.n_threads > 1:
+        if shard_res is not None:
+            for j, hits in enumerate(shard_res.thr_hits):
+                if len(hits):
+                    pools[j].append(hits)
+        elif ctx.engine.n_threads > 1:
             partials = ctx.engine.run(
                 [lambda s=s: scan_block(s, None) for s in starts]
             )
@@ -444,7 +490,13 @@ class CoalescingScheduler:
                 fold(*scan_block(start, floor))
 
         heap_ids = heap_floor = None
-        if heap is not None:
+        if heap is not None and shard_res is not None:
+            # The pool already merged per-shard heaps; its floor includes
+            # the store's score error bound, so the demux guard below
+            # stays sound for quantized shard stores too.
+            heap_ids = shard_res.heap_ids
+            heap_floor = shard_res.heap_floor
+        elif heap is not None:
             heap_ids, heap_scores = heap.finalize()
             heap_floor = (
                 heap_scores.min(axis=1)
@@ -465,10 +517,25 @@ class CoalescingScheduler:
                     cpu_s=scan_cpu,
                     batch=len(requests),
                     unique_vectors=len(uniq_vecs),
-                    blocks=len(starts),
+                    blocks=(
+                        shard_res.blocks if shard_res is not None
+                        else len(starts)
+                    ),
                     rows=n,
                     bytes_scanned=int(n) * int(normalized.shape[1]) * 4,
+                    shards=0 if shard_res is None else shard_res.n_shards,
                 )
+                if shard_res is not None:
+                    # One foreign span per shard worker: the member trace
+                    # shows where the fanned-out scan actually spent its
+                    # time, even though the work ran in other processes.
+                    for sid, wall in enumerate(shard_res.shard_walls):
+                        req.trace.add_span(
+                            "shard.scan",
+                            wall_s=wall,
+                            cpu_s=wall,
+                            shard=sid,
+                        )
 
         # Per-request demux: exact selection from the shared candidates.
         # Duplicate vectors share candidates but each request applies its

@@ -252,6 +252,12 @@ class QueryService:
         http_port: start the live introspection endpoint on this port
             (``0`` picks a free one; ``None``, the default, serves
             nothing until :meth:`serve_http` is called).
+        shard_procs: shard worker *processes* backing the coalesced scan
+            (``0`` disables; requires ``coalesce=True`` to take effect).
+            The pool publishes column stores into shared memory once and
+            fans group scans out across the processes; results stay
+            bit-identical to serial, and pool failures degrade to the
+            in-process scan.
 
     Every knob defaults to the ``REPRO_SERVICE_*`` / ``REPRO_QOS_*`` /
     ``REPRO_OBS_*`` configuration.
@@ -281,6 +287,7 @@ class QueryService:
         capture_keep: int | None = None,
         slow_k: int | None = None,
         http_port: int | None = None,
+        shard_procs: int | None = None,
     ) -> None:
         config = get_config()
         self.engine = engine
@@ -343,6 +350,13 @@ class QueryService:
             if coalesce
             else None
         )
+        procs = config.shard_procs if shard_procs is None else shard_procs
+        self.shard_pool = None
+        if procs and self.coalescer is not None:
+            from ..shard import ShardPool
+
+            self.shard_pool = ShardPool(engine, procs)
+            self.coalescer.shard_pool = self.shard_pool
         self.stats = ServiceStats()
         self.qos = QoSStats()
         self.qos_tracker = ExecTimeTracker(
@@ -907,6 +921,8 @@ class QueryService:
         }
         if self.coalescer is not None:
             snapshot["coalescer"] = self.coalescer.stats_snapshot()
+        if self.shard_pool is not None:
+            snapshot["shard"] = self.shard_pool.stats_snapshot()
         snapshot["engine"] = self.engine.executor.stats.snapshot()
         return snapshot
 
@@ -936,9 +952,17 @@ class QueryService:
                 "failed": self.stats.failed,
             }
             qos = self.qos.snapshot()
+        shard = (
+            self.shard_pool.worker_health()
+            if self.shard_pool is not None
+            else {}
+        )
         status = (
             "ok"
-            if open_breakers == 0 and engine_snap["worker_deaths"] == 0
+            if open_breakers == 0
+            and engine_snap["worker_deaths"] == 0
+            and shard.get("worker_deaths", 0) == 0
+            and shard.get("stalls", 0) == 0
             else "degraded"
         )
         return ServiceHealth(
@@ -950,6 +974,7 @@ class QueryService:
             faults=injector.stats.snapshot() if injector is not None else {},
             qos=qos,
             service=service,
+            shard=shard,
         )
 
     # ------------------------------------------------------------------
@@ -1018,6 +1043,10 @@ class QueryService:
             self._http_server = None
         if self.recorder is not None:
             self.recorder.close()
+        if self.shard_pool is not None:
+            # Terminates workers and unlinks every shared-memory segment;
+            # runs even on a failed drain so segments can never leak.
+            self.shard_pool.close()
         return idle
 
     def __enter__(self) -> "QueryService":

@@ -155,6 +155,48 @@ class StreamingTopK:
         """Current number of retained candidates per row (``<= k``)."""
         return 0 if self._ids is None else self._ids.shape[1]
 
+    def merge(self, other: "StreamingTopK") -> "StreamingTopK":
+        """Fold another heap's state into this one; returns ``self``.
+
+        Shard workers build independent heaps over disjoint right-id
+        ranges; the front door merges them in whatever order replies
+        arrive.  Arrival order must therefore not affect the result, so
+        the merge re-sorts the union by ``(score desc, id asc)`` per row
+        and keeps the first ``k`` — an associative, commutative rule.
+        It also reproduces serial tie-breaks exactly: a serial pass over
+        ascending right-id blocks keeps the earliest (smallest-id)
+        candidate of any score tie, which is precisely ``id asc``.
+        """
+        if other.n_rows != self.n_rows:
+            raise DimensionalityError(
+                f"cannot merge heaps over {other.n_rows} rows into "
+                f"{self.n_rows} rows"
+            )
+        if other._ids is None or other._scores is None:
+            return self
+        if self._ids is None or self._scores is None:
+            all_ids = other._ids.astype(np.int64)
+            all_scores = other._scores.astype(np.float32)
+        else:
+            all_ids = np.concatenate(
+                [self._ids, other._ids.astype(np.int64)], axis=1
+            )
+            all_scores = np.concatenate(
+                [self._scores, other._scores.astype(np.float32)], axis=1
+            )
+        # lexsort keys are least-significant first: primary score desc,
+        # secondary id asc — a total order, so duplicate-score candidates
+        # from different shards land identically regardless of merge order.
+        order = np.lexsort((all_ids, -all_scores), axis=1)
+        keep = order[:, : self.k]
+        self._ids = np.take_along_axis(all_ids, keep, axis=1).astype(
+            np.int64, copy=True
+        )
+        self._scores = np.take_along_axis(all_scores, keep, axis=1).astype(
+            np.float32, copy=True
+        )
+        return self
+
     def finalize(self) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(ids, scores)`` of shape ``(n_rows, <=k)``, best first."""
         if self._ids is None or self._scores is None:

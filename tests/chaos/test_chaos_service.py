@@ -247,4 +247,6 @@ def test_health_snapshot_reports_ok_when_quiet(query_vectors):
         "faults",
         "qos",
         "service",
+        "shard",
     }
+    assert as_dict["shard"] == {}  # no shard pool configured

@@ -1,0 +1,14 @@
+"""Fixtures for the sharded-execution test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _shard_utils import DIM
+from repro.workloads import unit_vectors
+
+
+@pytest.fixture()
+def query_vectors() -> np.ndarray:
+    return unit_vectors(8, DIM, stream="shard-tests/queries").astype(np.float32)
